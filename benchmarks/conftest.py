@@ -1,0 +1,64 @@
+"""Shared fixtures for the figure/table reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the experiment through a session-scoped memoizing runner (so a full
+``pytest benchmarks/`` session simulates each (trace, config) cell only
+once), prints the same rows/series the paper reports — with the paper's
+reported value alongside ours — and writes the rendered table to
+``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import ExperimentRunner
+from repro.workloads import memory_intensive_suite, full_suite
+
+SCALE = 0.5  # trace-length scale used across the benchmark session
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def mem_suite():
+    """The memory-intensive suite (analogue of the paper's 46 traces)."""
+    return memory_intensive_suite(scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def whole_suite():
+    """The full suite (analogue of the whole SPEC CPU 2017 collection)."""
+    return full_suite(scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def runner(mem_suite):
+    """Memoizing runner over the memory-intensive suite."""
+    return ExperimentRunner(mem_suite)
+
+
+@pytest.fixture(scope="session")
+def full_runner(whole_suite):
+    """Memoizing runner over the full suite."""
+    return ExperimentRunner(whole_suite)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered table and persist it under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,64 @@
+"""DRAM bandwidth cost of prefetching (Section VI-B2).
+
+Paper: IPCP buys its 45.1% speedup with only 16.1% extra DRAM traffic,
+while SPP+Perceptron+DSPatch and MLOP demand ~28% and T-SKID ~38%
+(with a 692% outlier on mcf).  The ordering — IPCP cheapest per unit of
+speedup — is the claim we assert.
+"""
+
+from conftest import once
+
+from repro.stats import format_table
+from repro.stats.metrics import dram_traffic_overhead, geometric_mean
+
+CONFIGS = ["ipcp", "spp_ppf_dspatch", "mlop", "tskid"]
+PAPER_OVERHEAD = {"ipcp": 0.161, "spp_ppf_dspatch": 0.28,
+                  "mlop": 0.28, "tskid": 0.38}
+
+
+def collect(runner):
+    table = {}
+    for config in CONFIGS:
+        overheads = []
+        speedups = []
+        for name in runner.traces:
+            base = runner.result(name, "none")
+            result = runner.result(name, config)
+            overheads.append(dram_traffic_overhead(result, base))
+            speedups.append(result.speedup_over(base))
+        table[config] = (
+            sum(overheads) / len(overheads),
+            geometric_mean(speedups),
+        )
+    return table
+
+
+def test_dram_traffic_overhead(benchmark, runner, emit):
+    table = once(benchmark, lambda: collect(runner))
+    rows = []
+    for config, (overhead, speedup) in table.items():
+        gain = speedup - 1.0
+        efficiency = gain / overhead if overhead > 0 else float("inf")
+        rows.append([config, overhead, speedup,
+                     f"paper: {PAPER_OVERHEAD[config]:.0%}"])
+    emit("dram_traffic", format_table(
+        ["combination", "DRAM overhead", "mean speedup", "paper overhead"],
+        rows, title="DRAM traffic cost of prefetching",
+    ))
+    overheads = {config: row[0] for config, row in table.items()}
+    speedups = {config: row[1] for config, row in table.items()}
+
+    # IPCP's traffic overhead is modest in absolute terms (paper: 16.1%).
+    assert overheads["ipcp"] < 0.35
+    # Its speedup-per-traffic beats the aggressive combinations.  (Our
+    # T-SKID-lite is more conservative than the real one — paper has it
+    # at 38% overhead, ours barely prefetches beyond sure things — so it
+    # is excluded from the efficiency comparison; see EXPERIMENTS.md.)
+    def efficiency(config):
+        overhead = max(overheads[config], 1e-3)
+        return (speedups[config] - 1.0) / overhead
+
+    assert efficiency("ipcp") >= efficiency("spp_ppf_dspatch")
+    assert efficiency("ipcp") >= efficiency("mlop")
+    # And IPCP delivers the largest absolute speedup of the pack.
+    assert speedups["ipcp"] >= max(speedups.values()) - 1e-9

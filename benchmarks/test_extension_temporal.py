@@ -1,0 +1,62 @@
+"""Future-work bench (Section VII): IPCP + a temporal class.
+
+The paper closes by proposing to "enhance IPCP with a temporal
+component for covering temporal and irregular accesses" and notes that
+temporal prefetchers can adopt IPCP as their spatial counterpart
+because it costs < 900 B.  This bench runs a recurring irregular
+pointer loop (spatially unprefetchable, temporally trivial) and shows:
+
+* plain IPCP is blind to it;
+* IPCP + TS covers it at a cost comparable to dedicated temporal
+  prefetchers (ISB/Domino/Triage at the L2);
+* on regular traces the TS class stays silent (no regression).
+"""
+
+from conftest import once
+
+from repro.analysis import run_levels
+from repro.stats import format_table
+from repro.workloads.spec import extension_trace, spec_trace
+
+CONFIGS = ["none", "ipcp", "ipcp_temporal", "isb", "domino", "triage"]
+
+
+def run_all():
+    loop = extension_trace("temporal_loop_like", 3.0)
+    stream = spec_trace("lbm_like", 0.4)
+    results = {}
+    for config in CONFIGS:
+        results[config] = (
+            run_levels(loop, config),
+            run_levels(stream, config),
+        )
+    return results
+
+
+def test_extension_temporal_class(benchmark, emit):
+    results = once(benchmark, run_all)
+    base_loop, base_stream = results["none"]
+    rows = []
+    for config in CONFIGS[1:]:
+        loop_result, stream_result = results[config]
+        rows.append([
+            config,
+            loop_result.speedup_over(base_loop),
+            stream_result.speedup_over(base_stream),
+        ])
+    emit("extension_temporal", format_table(
+        ["config", "temporal_loop speedup", "lbm_like speedup"], rows,
+        title="Future work: temporal class (recurring irregular loop "
+              "vs a regular stream)",
+    ))
+    by_config = {row[0]: row for row in rows}
+
+    # Plain IPCP cannot touch the irregular loop...
+    assert by_config["ipcp"][1] < 1.1
+    # ...the TS extension covers it...
+    assert by_config["ipcp_temporal"][1] > by_config["ipcp"][1] + 0.08
+    # ...in the same league as dedicated temporal prefetchers...
+    best_temporal = max(by_config[c][1] for c in ("isb", "domino", "triage"))
+    assert by_config["ipcp_temporal"][1] > best_temporal - 0.15
+    # ...without regressing the spatial bread-and-butter.
+    assert by_config["ipcp_temporal"][2] > by_config["ipcp"][2] - 0.05

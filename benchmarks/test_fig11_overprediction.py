@@ -1,0 +1,42 @@
+"""Fig. 11: covered, uncovered and over-predicted demand misses at the L1.
+
+Over-predictions are prefetched blocks that are evicted unused — the
+cost side of IPCP's aggressive GS class.
+"""
+
+from conftest import once
+
+from repro.stats import format_table
+
+
+def collect(runner):
+    rows = []
+    for name in runner.traces:
+        result = runner.result(name, "ipcp")
+        stats = result.l1
+        would_be_misses = stats.pf_useful + stats.uncovered_misses
+        covered = stats.pf_useful / would_be_misses if would_be_misses else 0.0
+        uncovered = 1.0 - covered
+        over = (stats.pf_unused_evicted / would_be_misses
+                if would_be_misses else 0.0)
+        rows.append([name, covered, uncovered, over])
+    return rows
+
+
+def test_fig11_overprediction(benchmark, runner, emit):
+    rows = once(benchmark, lambda: collect(runner))
+    emit("fig11_overprediction", format_table(
+        ["trace", "covered", "uncovered", "over-predicted (fraction)"],
+        rows,
+        title="Fig. 11: covered / uncovered / over-predicted at the L1",
+    ))
+    by_name = {row[0]: row for row in rows}
+
+    # Streaming traces: mostly covered, little over-prediction.
+    assert by_name["fotonik_like"][1] > 0.7
+    assert by_name["fotonik_like"][3] < 0.3
+    # Irregular traces: mostly uncovered (the paper's mcf/omnetpp tail).
+    assert by_name["omnetpp_like"][2] > 0.8
+    # Fractions are sane everywhere.
+    for row in rows:
+        assert 0.0 <= row[1] <= 1.0 and 0.0 <= row[2] <= 1.0

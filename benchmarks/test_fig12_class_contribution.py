@@ -1,0 +1,49 @@
+"""Fig. 12: contribution of each IPCP class to L1 prefetch coverage.
+
+Paper: on average GS contributes 30% and CS 46.7% of the covered
+misses; CPLX and NL mop up complex/irregular strides (mcf), streaming
+traces lean on GS, and when GS misses a stream CS picks it up.
+"""
+
+from conftest import once
+
+from repro.stats import class_contributions, format_table
+
+CLASSES = ["cs", "cplx", "gs", "nl"]
+
+
+def collect(runner):
+    rows = []
+    for name in runner.traces:
+        contributions = class_contributions(runner.result(name, "ipcp"))
+        rows.append([name] + [contributions.get(c, 0.0) for c in CLASSES])
+    return rows
+
+
+def test_fig12_class_contribution(benchmark, runner, emit):
+    rows = once(benchmark, lambda: collect(runner))
+    mean_row = ["mean"] + [
+        sum(row[i] for row in rows) / len(rows)
+        for i in range(1, len(CLASSES) + 1)
+    ]
+    paper_row = ["paper mean", 0.467, "-", 0.30, "-"]
+    emit("fig12_class_contribution", format_table(
+        ["trace"] + CLASSES, rows + [mean_row, paper_row],
+        title="Fig. 12: per-class share of IPCP's L1 coverage",
+    ))
+    by_name = {row[0]: row for row in rows}
+    shares = dict(zip(CLASSES, mean_row[1:]))
+
+    # Pattern -> class attribution must match the construction:
+    assert by_name["bwaves_like"][1] > 0.5       # constant stride -> CS
+    assert by_name["wrf_like"][2] > 0.5          # 3,3,4 -> CPLX
+    assert by_name["lbm_like"][3] > 0.5          # streaming -> GS
+    assert by_name["gcc_like"][3] > 0.5          # dense regions -> GS
+
+    # CS and GS are the two big contributors on average (paper's 46.7%
+    # and 30%).
+    assert shares["cs"] > 0.15
+    assert shares["gs"] > 0.15
+    # Every trace's shares sum to <= 1.
+    for row in rows:
+        assert sum(row[1:]) <= 1.0 + 1e-9

@@ -1,0 +1,70 @@
+"""Fig. 13a: utility of IPCP classes in isolation and as a bouquet.
+
+Paper findings reproduced here: CS and CPLX are the strongest single
+classes (>1.30x); GS alone is weak (<1.15x in the paper) but adds
+materially to the bouquet; tentative NL adds a little on top of
+CS+CPLX; the L2 IPCP adds ~5.1% on top of the L1 bouquet; and removing
+the metadata channel costs ~3.1%.
+"""
+
+from conftest import once
+
+from repro.core import IpcpConfig, IpcpL1, IpcpL2
+from repro.sim.engine import simulate
+from repro.stats import format_table, geometric_mean
+
+VARIANTS = {
+    "cs_only": lambda: (IpcpL1(IpcpConfig(
+        enable_cplx=False, enable_gs=False, enable_nl=False)), None),
+    "cplx_only": lambda: (IpcpL1(IpcpConfig(
+        enable_cs=False, enable_gs=False, enable_nl=False)), None),
+    "gs_only": lambda: (IpcpL1(IpcpConfig(
+        enable_cs=False, enable_cplx=False, enable_nl=False)), None),
+    "cs+cplx": lambda: (IpcpL1(IpcpConfig(
+        enable_gs=False, enable_nl=False)), None),
+    "cs+cplx+nl": lambda: (IpcpL1(IpcpConfig(enable_gs=False)), None),
+    "bouquet_l1": lambda: (IpcpL1(), None),
+    "bouquet_no_meta": lambda: (
+        IpcpL1(IpcpConfig(send_metadata=False)), IpcpL2()),
+    "bouquet_l1_l2": lambda: (IpcpL1(), IpcpL2()),
+}
+
+
+def run_variants(suite):
+    means = {}
+    for name, build in VARIANTS.items():
+        speedups = []
+        for trace in suite:
+            l1, l2 = build()
+            base = simulate(trace)
+            result = simulate(trace, l1_prefetcher=l1, l2_prefetcher=l2)
+            speedups.append(result.speedup_over(base))
+        means[name] = geometric_mean(speedups)
+    return means
+
+
+def test_fig13a_class_utility(benchmark, mem_suite, emit):
+    means = once(benchmark, lambda: run_variants(mem_suite))
+    paper = {
+        "cs_only": ">1.30", "cplx_only": ">1.30", "gs_only": "<1.15",
+        "cs+cplx": "1.34", "cs+cplx+nl": "1.36", "bouquet_l1": "1.40",
+        "bouquet_no_meta": "1.42 (-3.1%)", "bouquet_l1_l2": "1.451",
+    }
+    rows = [[name, value, paper[name]] for name, value in means.items()]
+    emit("fig13a_class_utility", format_table(
+        ["variant", "measured speedup", "paper"], rows,
+        title="Fig. 13a: utility of IPCP classes",
+    ))
+
+    # Single classes are all positive contributors on their home turf.
+    assert means["cs_only"] > 1.05
+    assert means["gs_only"] > 1.0
+    # Adding classes never hurts the average:
+    assert means["cs+cplx"] >= means["cs_only"] - 0.02
+    assert means["bouquet_l1"] >= means["cs+cplx"] - 0.02
+    # The full multi-level bouquet is the best variant.
+    assert means["bouquet_l1_l2"] >= max(means.values()) - 1e-9
+    # L2 IPCP adds on top of the L1 bouquet (paper: +5.1%).
+    assert means["bouquet_l1_l2"] > means["bouquet_l1"]
+    # Metadata removal costs performance (paper: -3.1%).
+    assert means["bouquet_l1_l2"] >= means["bouquet_no_meta"]

@@ -1,0 +1,140 @@
+"""Fig. 14: CloudSuite (a) and CNN/RNN (b) speedups.
+
+Paper: spatial prefetchers barely move server workloads (all
+prefetchers cluster near 1.0x, Classification defeats everyone), while
+the streaming neural-network kernels favour IPCP, which wins the
+category.
+"""
+
+from conftest import once
+
+from repro.analysis import ExperimentRunner
+from repro.core import IpcpL1, IpcpL2
+from repro.prefetchers.bingo import BingoPrefetcher
+from repro.prefetchers.mlop import MlopPrefetcher
+from repro.prefetchers.next_line import NextLinePrefetcher
+from repro.sim.multicore import simulate_mix
+from repro.stats import format_table, geometric_mean, \
+    normalized_weighted_speedup
+from repro.workloads import cloudsuite_suite, neural_suite
+from repro.workloads.cloudsuite import CLOUDSUITE_BENCHMARKS, \
+    cloudsuite_trace
+
+CONFIGS = ["ipcp", "spp_ppf_dspatch", "mlop", "bingo", "tskid"]
+
+MC_CONFIGS = {
+    "ipcp": {"l1": IpcpL1, "l2": IpcpL2},
+    "mlop": {"l1": MlopPrefetcher,
+             "l2": lambda: NextLinePrefetcher(degree=1)},
+    "bingo": {"l1": BingoPrefetcher,
+              "l2": lambda: NextLinePrefetcher(degree=1)},
+}
+
+
+def test_fig14a_cloudsuite(benchmark, emit):
+    """The paper evaluates CloudSuite as FOUR-CORE mixes; we run each
+    server workload on all four cores and compare normalized weighted
+    speedups."""
+
+    def run():
+        rows = []
+        gains = {config: [] for config in MC_CONFIGS}
+        alone: dict[str, float] = {}
+        for name in CLOUDSUITE_BENCHMARKS:
+            traces = [cloudsuite_trace(name, 0.4) for _ in range(4)]
+            # Warm-up must cover each trace's footprint-warming sweep
+            # (a GS-friendly stream) so the ROI measures steady-state
+            # server behaviour, not initialisation.
+            warmup = max(2_000, len(traces[0]) // 3)
+            base = simulate_mix(traces, warmup=warmup, roi=6_000,
+                                alone_ipc=alone)
+            row = [name]
+            for config, factories in MC_CONFIGS.items():
+                result = simulate_mix(
+                    traces,
+                    l1_factory=factories["l1"],
+                    l2_factory=factories.get("l2"),
+                    warmup=warmup, roi=6_000, alone_ipc=alone,
+                )
+                nws = normalized_weighted_speedup(result, base)
+                row.append(nws)
+                gains[config].append(nws)
+            rows.append(row)
+        mean_row = ["geomean"] + [
+            geometric_mean(gains[config]) for config in MC_CONFIGS
+        ]
+        return rows + [mean_row], gains
+
+    rows, gains = once(benchmark, run)
+    emit("fig14a_cloudsuite", format_table(
+        ["4-core mix"] + list(MC_CONFIGS), rows,
+        title="Fig. 14a: CloudSuite-like 4-core mixes "
+              "(paper: all prefetchers ~flat, geomean ~1.0-1.06)",
+    ))
+    means = dict(zip(MC_CONFIGS, rows[-1][1:]))
+    # Spatial prefetching does not help server workloads; IPCP's
+    # coordinated throttling keeps it pinned near 1.0 while the
+    # unthrottled aggressive-lite rivals bleed DRAM bandwidth on the
+    # compulsory-miss-heavy mixes (see EXPERIMENTS.md deviations).
+    assert 0.9 < means["ipcp"] < 1.25
+    assert min(gains["ipcp"]) > 0.85
+    for name, value in means.items():
+        assert 0.7 < value < 1.25, name
+    # Nobody turns a server mix into a win the way streams are won.
+    assert max(means.values()) < 1.15
+
+
+def test_fig14b_neural_networks(benchmark, emit):
+    """Single-core sweep over all five combinations (the per-kernel
+    bars of Fig. 14b)."""
+    runner = ExperimentRunner(neural_suite(scale=0.4))
+    rows = once(benchmark, lambda: runner.speedup_table(CONFIGS))
+    emit("fig14b_neural", format_table(
+        ["trace"] + CONFIGS, rows,
+        title="Fig. 14b: CNN/RNN-like speedups (paper: IPCP wins; "
+              "streaming-friendly)",
+    ))
+    means = dict(zip(CONFIGS, rows[-1][1:]))
+    # Streaming NN kernels: IPCP leads the pack and gains are real.
+    assert means["ipcp"] >= max(means.values()) - 0.02
+    assert means["ipcp"] > 1.15
+
+
+def test_fig14b_neural_multicore(benchmark, emit):
+    """The paper's NN numbers come from multicore runs; a 4-core
+    homogeneous check on three representative kernels."""
+    from repro.workloads.neural import neural_trace
+
+    def run():
+        rows = []
+        gains = {config: [] for config in MC_CONFIGS}
+        alone: dict[str, float] = {}
+        for name in ("vgg19_like", "lstm_like", "resnet50_like"):
+            traces = [neural_trace(name, 0.25) for _ in range(4)]
+            base = simulate_mix(traces, warmup=2_000, roi=6_000,
+                                alone_ipc=alone)
+            row = [name]
+            for config, factories in MC_CONFIGS.items():
+                result = simulate_mix(
+                    traces,
+                    l1_factory=factories["l1"],
+                    l2_factory=factories.get("l2"),
+                    warmup=2_000, roi=6_000, alone_ipc=alone,
+                )
+                nws = normalized_weighted_speedup(result, base)
+                row.append(nws)
+                gains[config].append(nws)
+            rows.append(row)
+        mean_row = ["geomean"] + [
+            geometric_mean(gains[config]) for config in MC_CONFIGS
+        ]
+        return rows + [mean_row]
+
+    rows = once(benchmark, run)
+    emit("fig14b_neural_multicore", format_table(
+        ["4-core mix"] + list(MC_CONFIGS), rows,
+        title="Fig. 14b (multicore): CNN/RNN 4-core mixes",
+    ))
+    means = dict(zip(MC_CONFIGS, rows[-1][1:]))
+    assert means["ipcp"] >= max(means.values()) - 0.02
+    assert means["ipcp"] > 1.02

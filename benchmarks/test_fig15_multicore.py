@@ -1,0 +1,91 @@
+"""Fig. 15 (+ Section VI-D): multicore normalized weighted speedups.
+
+Paper: across homogeneous and heterogeneous mixes IPCP averages a 23.4%
+improvement against 20.9% (Bingo) and 20% (MLOP).  Full thousand-mix
+sweeps are far beyond a pure-Python budget; we run a representative set
+of 4-core homogeneous mixes plus seeded heterogeneous mixes and check
+the ordering and the positive-gain claim.
+"""
+
+from conftest import once
+
+from repro.core import IpcpL1, IpcpL2
+from repro.prefetchers.bingo import BingoPrefetcher
+from repro.prefetchers.mlop import MlopPrefetcher
+from repro.prefetchers.next_line import NextLinePrefetcher
+from repro.sim.multicore import simulate_mix
+from repro.stats import format_table, geometric_mean, \
+    normalized_weighted_speedup
+from repro.workloads import heterogeneous_mixes, homogeneous_mix
+
+HOMOGENEOUS = ["lbm_like", "fotonik_like", "bwaves_like", "omnetpp_like"]
+
+CONFIGS = {
+    "ipcp": {"l1": IpcpL1, "l2": IpcpL2},
+    "mlop": {"l1": MlopPrefetcher,
+             "l2": lambda: NextLinePrefetcher(degree=1)},
+    "bingo": {"l1": BingoPrefetcher,
+              "l2": lambda: NextLinePrefetcher(degree=1)},
+}
+
+WARMUP = 2_000
+ROI = 8_000
+MIX_SCALE = 0.25
+
+
+def run_mixes():
+    mixes = {
+        f"{name} x4": homogeneous_mix(name, 4, scale=MIX_SCALE)
+        for name in HOMOGENEOUS
+    }
+    # The paper also evaluates 8-core mixes; one representative case.
+    mixes["lbm_like x8"] = homogeneous_mix("lbm_like", 8, scale=MIX_SCALE)
+    for i, mix in enumerate(
+        heterogeneous_mixes(2, 4, scale=MIX_SCALE, seed=31)
+    ):
+        mixes[f"hetero_{i}"] = mix
+
+    rows = []
+    gains = {config: [] for config in CONFIGS}
+    alone_cache: dict[str, float] = {}
+    for mix_name, traces in mixes.items():
+        base = simulate_mix(traces, warmup=WARMUP, roi=ROI,
+                            alone_ipc=alone_cache)
+        row = [mix_name]
+        for config, factories in CONFIGS.items():
+            result = simulate_mix(
+                traces,
+                l1_factory=factories["l1"],
+                l2_factory=factories.get("l2"),
+                warmup=WARMUP,
+                roi=ROI,
+                alone_ipc=alone_cache,
+            )
+            nws = normalized_weighted_speedup(result, base)
+            row.append(nws)
+            gains[config].append(nws)
+        rows.append(row)
+    return rows, gains
+
+
+def test_fig15_multicore_summary(benchmark, emit):
+    rows, gains = once(benchmark, run_mixes)
+    mean_row = ["geomean"] + [
+        geometric_mean(gains[config]) for config in CONFIGS
+    ]
+    paper_row = ["paper (all mixes)", 1.234, 1.200, 1.209]
+    emit("fig15_multicore", format_table(
+        ["mix"] + list(CONFIGS), rows + [mean_row, paper_row],
+        title="Fig. 15: multicore normalized weighted speedup",
+    ))
+    means = dict(zip(CONFIGS, mean_row[1:]))
+    # IPCP leads the multicore summary and gains are positive.
+    assert means["ipcp"] >= max(means.values()) - 0.02
+    assert means["ipcp"] > 1.05
+    # IPCP never collapses on a mix (paper: coordinated throttling keeps
+    # its worst homogeneous degradation small); rivals are allowed the
+    # larger losses the paper reports on contended homogeneous mixes
+    # (10-14%, and far worse for T-SKID on mcf).
+    assert min(gains["ipcp"]) > 0.9
+    for config, values in gains.items():
+        assert min(values) > 0.5, config

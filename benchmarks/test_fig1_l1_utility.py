@@ -1,0 +1,64 @@
+"""Fig. 1: utility of prefetching into the L1 versus the L2.
+
+The paper places the same prefetcher at the L1 (training on the
+unfiltered access stream, filling the L1) and at the L2 (training on
+the L1-filtered stream), and finds L1 placement is worth an extra
+6-13% on average.  We reproduce the comparison with IP-stride, MLOP
+and Bingo.
+"""
+
+from conftest import once
+
+from repro.prefetchers.bingo import BingoPrefetcher
+from repro.prefetchers.ip_stride import IpStridePrefetcher
+from repro.prefetchers.mlop import MlopPrefetcher
+from repro.sim.engine import simulate
+from repro.stats import format_table, geometric_mean
+
+FACTORIES = {
+    "ip_stride": IpStridePrefetcher,
+    "mlop": MlopPrefetcher,
+    "bingo": BingoPrefetcher,
+}
+
+
+def run_comparison(suite):
+    rows = []
+    gains = {name: [] for name in FACTORIES}
+    for trace in suite:
+        base = simulate(trace)
+        row = [trace.name]
+        for name, factory in FACTORIES.items():
+            at_l1 = simulate(trace, l1_prefetcher=factory())
+            at_l2 = simulate(trace, l2_prefetcher=factory())
+            l1_speedup = at_l1.speedup_over(base)
+            l2_speedup = at_l2.speedup_over(base)
+            row.extend([l1_speedup, l2_speedup])
+            if l2_speedup > 0:
+                gains[name].append(l1_speedup / l2_speedup)
+        rows.append(row)
+    return rows, gains
+
+
+def test_fig1_l1_vs_l2_placement(benchmark, mem_suite, emit):
+    rows, gains = once(benchmark, lambda: run_comparison(mem_suite))
+    headers = ["trace"]
+    for name in FACTORIES:
+        headers.extend([f"{name}@L1", f"{name}@L2"])
+    mean_row = ["geomean L1/L2 gain"]
+    for name in FACTORIES:
+        mean_row.extend([geometric_mean(gains[name]), ""])
+    emit("fig1_l1_utility", format_table(
+        headers, rows + [mean_row],
+        title="Fig. 1: L1 vs L2 prefetcher placement "
+              "(paper: L1 placement adds 6-13% on average)",
+    ))
+    # Shape claim, weakened for our substrate (documented in
+    # EXPERIMENTS.md): synthetic traces miss each line exactly once, so
+    # the L2 sees an unusually clean stream and the paper's "noisy
+    # filtered training" penalty mostly vanishes.  L1 placement must
+    # still be within noise of L2 placement for every prefetcher, and
+    # show a real advantage for at least one.
+    for name in FACTORIES:
+        assert geometric_mean(gains[name]) >= 0.96, name
+    assert max(geometric_mean(gains[name]) for name in FACTORIES) > 1.02

@@ -1,0 +1,50 @@
+"""Fig. 7: L1-only prefetcher comparison on memory-intensive traces.
+
+The paper's claim: with L2/LLC prefetching off, IPCP outperforms every
+competitor at the L1 except the 119 KB Bingo configuration, and SPP
+(designed for the L2's filtered stream) underwhelms at the L1.
+"""
+
+import pytest
+
+from conftest import once
+
+from repro.stats import format_table
+
+CONFIGS = [
+    "next_line", "ip_stride", "stream", "bop", "sandbox", "asp", "vldp",
+    "spp_l1", "dspatch_l1", "sms_l1", "mlop_l1", "tskid_l1", "dol_l1",
+    "bingo_l1", "bingo_l1_119kb", "ipcp_l1",
+]
+
+PAPER_NOTES = {
+    "ipcp_l1": "wins (except Bingo-119KB)",
+    "spp_l1": "underperforms at L1",
+}
+
+
+def test_fig7_l1_only_prefetchers(benchmark, runner, emit):
+    rows = once(benchmark, lambda: runner.speedup_table(CONFIGS))
+    emit("fig7_l1_prefetchers", format_table(
+        ["trace"] + CONFIGS, rows,
+        title="Fig. 7: L1-only prefetchers (speedup vs no prefetching)",
+    ))
+    means = dict(zip(CONFIGS, rows[-1][1:]))
+
+    # IPCP leads every same-budget L1 competitor on average.
+    # (Deviation vs the paper, recorded in EXPERIMENTS.md: our SPP-lite
+    # is unrealistically strong at the L1 because synthetic traces have
+    # clean per-page delta patterns, so it ties rather than trails.)
+    rivals = [c for c in CONFIGS if c not in ("ipcp_l1", "bingo_l1_119kb")]
+    for rival in rivals:
+        assert means["ipcp_l1"] >= means[rival] - 0.02, rival
+
+    # Simple next-line is the weakest sensible choice (paper's baseline
+    # ordering) and nothing behaves absurdly.
+    assert means["next_line"] <= means["ipcp_l1"]
+    for name, value in means.items():
+        assert 0.5 < value < 3.0, name
+
+    # IPCP's average gain on memory-intensive traces is substantial
+    # (paper: 1.45x with multi-level; L1-only lands below that).
+    assert means["ipcp_l1"] > 1.15

@@ -1,0 +1,52 @@
+"""Fig. 8: multi-level prefetching speedups (the headline result).
+
+Paper numbers: on memory-intensive traces IPCP gains 45.1% on average
+with the next three combinations at >= 42.5%; on the full SPEC CPU 2017
+suite IPCP gains 22% vs 18.2-18.8% for the others.  Our substrate is a
+simplified simulator over synthetic traces so the absolute numbers
+differ; the *ordering* — IPCP first, everything else behind — must
+hold, with DOL further back (Section V-A).
+"""
+
+from conftest import once
+
+from repro.analysis import ExperimentRunner
+from repro.stats import format_table
+
+CONFIGS = ["ipcp", "spp_ppf_dspatch", "mlop", "bingo", "tskid", "dol"]
+
+PAPER_MEM_INTENSIVE = {
+    "ipcp": 1.451, "spp_ppf_dspatch": 1.425, "mlop": 1.425,
+    "bingo": 1.425, "tskid": 1.425, "dol": None,
+}
+
+
+def test_fig8_memory_intensive(benchmark, runner, emit):
+    rows = once(benchmark, lambda: runner.speedup_table(CONFIGS))
+    paper_row = ["paper (46 traces)"] + [
+        PAPER_MEM_INTENSIVE[c] or "-" for c in CONFIGS
+    ]
+    emit("fig8_multilevel_speedup", format_table(
+        ["trace"] + CONFIGS, rows + [paper_row],
+        title="Fig. 8: multi-level prefetching, memory-intensive traces",
+    ))
+    means = dict(zip(CONFIGS, rows[-1][1:]))
+    best_rival = max(v for k, v in means.items() if k != "ipcp")
+    assert means["ipcp"] >= best_rival          # IPCP wins
+    assert means["ipcp"] > 1.2                  # and the win is material
+    assert means["dol"] <= means["ipcp"] - 0.05  # DOL trails IPCP
+
+
+def test_fig8_full_suite(benchmark, full_runner, emit):
+    configs = ["ipcp", "mlop", "tskid"]
+    rows = once(benchmark, lambda: full_runner.speedup_table(configs))
+    emit("fig8_full_suite", format_table(
+        ["trace"] + configs, rows,
+        title="Fig. 8 (companion): full-suite averages "
+              "(paper: IPCP 1.22 vs rivals 1.182-1.188)",
+    ))
+    means = dict(zip(configs, rows[-1][1:]))
+    # Full-suite average is diluted by non-memory-intensive traces but
+    # IPCP still leads.
+    assert means["ipcp"] >= max(means.values()) - 1e-9
+    assert 1.05 < means["ipcp"] < 1.6

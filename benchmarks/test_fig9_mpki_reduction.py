@@ -1,0 +1,40 @@
+"""Fig. 9: reduction in demand MPKI at L1/L2/LLC for each combination."""
+
+from conftest import once
+
+from repro.stats import format_table
+
+CONFIGS = ["ipcp", "spp_ppf_dspatch", "mlop", "bingo", "tskid"]
+
+
+def collect(runner):
+    rows = []
+    totals = {config: [0.0, 0.0] for config in CONFIGS}  # [base, with]
+    for name in runner.traces:
+        base = runner.result(name, "none")
+        row = [name, base.mpki("l1")]
+        for config in CONFIGS:
+            result = runner.result(name, config)
+            row.append(result.mpki("l1"))
+            totals[config][0] += base.mpki("l1")
+            totals[config][1] += result.mpki("l1")
+        rows.append(row)
+    return rows, totals
+
+
+def test_fig9_mpki_reduction(benchmark, runner, emit):
+    rows, totals = once(benchmark, lambda: collect(runner))
+    emit("fig9_mpki_reduction", format_table(
+        ["trace", "no-pf L1 MPKI"] + [f"{c} L1 MPKI" for c in CONFIGS],
+        rows,
+        title="Fig. 9: demand MPKI with multi-level prefetching",
+    ))
+    # Every combination must reduce aggregate L1 demand MPKI, and IPCP
+    # must be among the strongest reducers.
+    reductions = {
+        config: 1 - with_pf / base
+        for config, (base, with_pf) in totals.items()
+    }
+    assert all(value > 0 for value in reductions.values())
+    assert reductions["ipcp"] >= max(reductions.values()) - 0.10
+    assert reductions["ipcp"] > 0.3

@@ -1,0 +1,67 @@
+"""Section VI-B1: a strong L1 prefetcher makes L2 prefetching marginal.
+
+The paper's "surprising and counter-intuitive" observation: with IPCP
+at the L1, sweeping every L2 prefetcher (SPP+Perceptron+DSPatch, BOP,
+VLDP, MLOP, IP-stride, Bingo) adds less than 1.7%, with the SPP stack
+the best of them — which motivates the metadata-driven IPCP-L2 instead
+and frames future work (i): an L2 prefetcher that *complements* a
+strong L1.
+"""
+
+from conftest import once
+
+from repro.core import IpcpL1, IpcpL2
+from repro.prefetchers.bingo import BingoPrefetcher
+from repro.prefetchers.bop import BopPrefetcher
+from repro.prefetchers.composite import spp_ppf_dspatch
+from repro.prefetchers.ip_stride import IpStridePrefetcher
+from repro.prefetchers.mlop import MlopPrefetcher
+from repro.prefetchers.vldp import VldpPrefetcher
+from repro.sim.engine import simulate
+from repro.stats import format_table, geometric_mean
+
+L2_CHOICES = {
+    "none": lambda: None,
+    "spp_ppf_dspatch": spp_ppf_dspatch,
+    "bop": BopPrefetcher,
+    "vldp": VldpPrefetcher,
+    "mlop": MlopPrefetcher,
+    "ip_stride": IpStridePrefetcher,
+    "bingo": BingoPrefetcher,
+    "ipcp_l2 (metadata)": IpcpL2,
+}
+
+
+def sweep(mem_suite):
+    means = {}
+    for label, factory in L2_CHOICES.items():
+        speedups = []
+        for trace in mem_suite:
+            base = simulate(trace)
+            result = simulate(trace, l1_prefetcher=IpcpL1(),
+                              l2_prefetcher=factory())
+            speedups.append(result.speedup_over(base))
+        means[label] = geometric_mean(speedups)
+    return means
+
+
+def test_l2_prefetchers_on_top_of_ipcp_l1(benchmark, mem_suite, emit):
+    means = once(benchmark, lambda: sweep(mem_suite))
+    baseline = means["none"]
+    rows = [[label, value, value - baseline]
+            for label, value in means.items()]
+    emit("l2_complement", format_table(
+        ["L2 prefetcher (IPCP at L1)", "mean speedup", "delta vs no-L2"],
+        rows,
+        title="Section VI-B1: utility of L2 prefetchers under a strong "
+              "L1 (paper: every generic L2 adds <1.7%)",
+    ))
+    generic = [label for label in L2_CHOICES
+               if label not in ("none", "ipcp_l2 (metadata)")]
+    # Generic L2 prefetchers add little on top of IPCP-L1 (and never
+    # wreck it).
+    for label in generic:
+        assert abs(means[label] - baseline) < 0.12, label
+    # The metadata-driven IPCP-L2 is the best L2 companion.
+    assert means["ipcp_l2 (metadata)"] >= max(means.values()) - 0.02
+    assert means["ipcp_l2 (metadata)"] > baseline

@@ -1,0 +1,45 @@
+"""Section V: "We do not implement it at the LLC, as we do not see any
+considerable benefit."
+
+IPCP's metadata rides on every L1 prefetch all the way down, so an
+IPCP-L2-style decoder *can* be attached at the LLC.  This bench does
+exactly that and verifies the paper's decision: the third level adds
+nothing worth its silicon.
+"""
+
+from conftest import once
+
+from repro.core import IpcpL1, IpcpL2
+from repro.sim.engine import simulate
+from repro.stats import format_table, geometric_mean
+
+
+def sweep(mem_suite):
+    results = {}
+    for label, llc_factory in (("ipcp L1+L2 (paper)", None),
+                               ("ipcp L1+L2+LLC", IpcpL2)):
+        speedups = []
+        for trace in mem_suite:
+            base = simulate(trace)
+            result = simulate(
+                trace,
+                l1_prefetcher=IpcpL1(),
+                l2_prefetcher=IpcpL2(),
+                llc_prefetcher=llc_factory() if llc_factory else None,
+            )
+            speedups.append(result.speedup_over(base))
+        results[label] = geometric_mean(speedups)
+    return results
+
+
+def test_llc_ipcp_adds_nothing(benchmark, mem_suite, emit):
+    results = once(benchmark, lambda: sweep(mem_suite))
+    rows = [[label, value] for label, value in results.items()]
+    emit("llc_ipcp", format_table(
+        ["configuration", "mean speedup"], rows,
+        title='Section V: IPCP at the LLC ("no considerable benefit")',
+    ))
+    two_level = results["ipcp L1+L2 (paper)"]
+    three_level = results["ipcp L1+L2+LLC"]
+    # The LLC instance must neither help materially nor hurt.
+    assert abs(three_level - two_level) < 0.03

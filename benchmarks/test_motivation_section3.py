@@ -1,0 +1,49 @@
+"""Section III motivation: IPs have unique, classifiable behaviour.
+
+Before any simulation, the paper motivates IPCP with a static analysis
+of access patterns: bwaves' IP_A strides by 3, mcf's IP_B alternates
+1,2,1,2, and lbm/gcc accesses form dense global streams under jumbled
+program order.  This bench runs the same analysis over the synthetic
+suite and reports the per-trace pattern mix — the evidence that the
+classifier has something to classify.
+"""
+
+from conftest import once
+
+from repro.analysis.tracestats import analyze_trace
+from repro.stats import format_table
+
+CLASSES = ["constant_stride", "complex_stride", "irregular", "singleton"]
+
+
+def collect(suite):
+    rows = []
+    for trace in suite:
+        profile = analyze_trace(trace)
+        shares = profile.class_shares()
+        rows.append(
+            [trace.name, profile.distinct_ips]
+            + [shares.get(label, 0.0) for label in CLASSES]
+            + [profile.dense_region_fraction]
+        )
+    return rows
+
+
+def test_motivation_pattern_mix(benchmark, mem_suite, emit):
+    rows = once(benchmark, lambda: collect(mem_suite))
+    emit("motivation_section3", format_table(
+        ["trace", "IPs"] + CLASSES + ["dense 2KB regions"], rows,
+        title="Section III: per-IP behaviour mix of the suite",
+    ))
+    by_name = {row[0]: row for row in rows}
+
+    # The paper's worked examples hold on their synthetic stand-ins:
+    assert by_name["bwaves_like"][2] > 0.6       # IP_A: constant stride 3
+    assert by_name["wrf_like"][3] > 0.6          # 3,3,4: complex stride
+    assert by_name["omnetpp_like"][4] > 0.4      # pointer chasing
+    assert by_name["gcc_like"][6] > 0.7          # dense global streams
+    assert by_name["cactu_like"][1] > 256        # IP-table-defeating count
+
+    # Every share vector is a valid distribution.
+    for row in rows:
+        assert abs(sum(row[2:6]) - 1.0) < 1e-6

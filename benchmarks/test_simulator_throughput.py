@@ -1,0 +1,44 @@
+"""Simulator throughput guard.
+
+Not a paper artifact — a regression guard for the repository itself:
+the whole benchmark suite only stays runnable if the simulator keeps
+processing on the order of 10^5 instructions per second in pure
+Python.  This bench measures records/second with and without IPCP and
+fails if throughput collapses by an order of magnitude.
+"""
+
+import time
+
+from repro.core import IpcpL1, IpcpL2
+from repro.sim.engine import simulate
+from repro.workloads import spec_trace
+
+
+def measure(trace, **kwargs):
+    start = time.perf_counter()
+    simulate(trace, **kwargs)
+    elapsed = time.perf_counter() - start
+    return len(trace) / elapsed
+
+
+def test_simulator_throughput(benchmark, emit):
+    trace = spec_trace("lbm_like", 0.5)
+
+    def run():
+        return {
+            "baseline": measure(trace),
+            "ipcp": measure(trace, l1_prefetcher=IpcpL1(),
+                            l2_prefetcher=IpcpL2()),
+        }
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("simulator_throughput", "\n".join(
+        [f"simulator throughput ({trace.name}, {len(trace)} records)"]
+        + [f"  {name}: {rate:,.0f} records/s" for name, rate in rates.items()]
+    ))
+    # Floors chosen ~10x below current performance: they catch
+    # accidental quadratic behaviour, not machine variance.
+    assert rates["baseline"] > 30_000
+    assert rates["ipcp"] > 15_000
+    # Prefetching costs simulation time but not more than ~5x.
+    assert rates["ipcp"] > rates["baseline"] / 5

@@ -1,0 +1,30 @@
+"""Table I: IPCP hardware storage overhead (740 B at L1 + 155 B at L2).
+
+This is exact bookkeeping, so unlike the simulation benchmarks the
+numbers must match the paper bit-for-bit.
+"""
+
+from conftest import once
+
+from repro.core import ipcp_storage_report
+from repro.stats import format_table
+
+
+def test_table1_storage(benchmark, emit):
+    report = once(benchmark, ipcp_storage_report)
+    rows = [
+        ["IPCP at L1 (tables)", report.l1_table_bits, "5800 bits", "exact"],
+        ["IPCP at L1 (others)", report.l1_other_bits, "113 bits", "exact"],
+        ["IPCP at L1 total", f"{report.l1_bytes} B", "740 B", "exact"],
+        ["IPCP at L2 total", f"{report.l2_bytes} B", "155 B", "exact"],
+        ["Framework total", f"{report.total_bytes} B", "895 B", "exact"],
+    ]
+    emit("table1_storage", format_table(
+        ["structure", "measured", "paper", "status"], rows,
+        title="Table I: IPCP storage overhead",
+    ))
+    assert report.l1_table_bits == 5800
+    assert report.l1_other_bits == 113
+    assert report.l1_bytes == 740
+    assert report.l2_bytes == 155
+    assert report.total_bytes == 895

@@ -1,0 +1,77 @@
+"""Build your own prefetcher and race it against IPCP.
+
+IPCP's pitch is modularity: "a new access pattern can be added to the
+existing classes as a new class seamlessly".  The same holds for this
+framework — a prefetcher is one class with an ``on_access`` hook.  This
+example implements a tiny "even/odd line-parity" prefetcher (a toy),
+plugs it into the L1, and compares it with next-line and IPCP on two
+workloads.
+
+Run:  python examples/custom_prefetcher.py
+"""
+
+from repro import IpcpL1, IpcpL2, simulate
+from repro.params import LINES_PER_PAGE
+from repro.prefetchers.base import (
+    AccessContext,
+    AccessType,
+    Prefetcher,
+    PrefetchRequest,
+)
+from repro.prefetchers.next_line import NextLinePrefetcher
+from repro.stats import format_table
+from repro.workloads import spec_trace
+
+
+class ParityPrefetcher(Prefetcher):
+    """Toy prefetcher: assume programs walk same-parity lines.
+
+    On an access to line L it prefetches L+2 and L+4 (same parity).
+    Good for stride-2 code, useless elsewhere — a demonstration of how
+    little code a new component prefetcher needs.
+    """
+
+    def __init__(self, degree: int = 2) -> None:
+        super().__init__(name="parity", storage_bits=0)
+        self.degree = degree
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        if ctx.kind == AccessType.PREFETCH:
+            return []
+        line = ctx.addr >> 6
+        page = line // LINES_PER_PAGE
+        return [
+            PrefetchRequest(addr=(line + 2 * k) << 6)
+            for k in range(1, self.degree + 1)
+            if (line + 2 * k) // LINES_PER_PAGE == page
+        ]
+
+
+def main() -> None:
+    contenders = {
+        "next_line": lambda: (NextLinePrefetcher(degree=1), None),
+        "parity (custom)": lambda: (ParityPrefetcher(), None),
+        "ipcp": lambda: (IpcpL1(), IpcpL2()),
+    }
+    rows = []
+    for trace_name in ("roms_like", "bwaves_like"):
+        trace = spec_trace(trace_name, scale=0.4)
+        base = simulate(trace)
+        row = [trace_name]
+        for build in contenders.values():
+            l1, l2 = build()
+            result = simulate(trace, l1_prefetcher=l1, l2_prefetcher=l2)
+            row.append(result.speedup_over(base))
+        rows.append(row)
+    print(format_table(
+        ["trace"] + list(contenders), rows,
+        title="Custom prefetcher vs the built-ins (speedup over baseline)",
+    ))
+    print("\nroms_like mixes stride-2 with streaming: the parity toy "
+          "catches the stride-2 part;\nbwaves_like strides by 3 lines, "
+          "so parity prefetching goes to waste while IPCP's CS class "
+          "adapts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Phase analysis: watch IPCP adapt as a workload changes behaviour.
+
+mcf is the paper's canonical phase-shifting benchmark — some sim-point
+traces (1152B) are regular and CS-covered, others (1536B) are irregular
+and nearly unprefetchable.  This example builds a single trace with
+both personalities back to back (a strided phase, then a
+pointer-chasing phase), windows the simulation, and prints per-phase
+IPC / MPKI / prefetch activity plus the detected phase shift.
+
+Run:  python examples/phase_analysis.py
+"""
+
+from repro.core import IpcpL1, IpcpL2
+from repro.memsys.hierarchy import build_hierarchy
+from repro.params import SystemParams
+from repro.sim.cpu import Cpu
+from repro.stats import TimelineRecorder, format_table, phase_shift_windows
+from repro.workloads.patterns import (
+    WorkloadBuilder,
+    pointer_chase,
+    strided_pattern,
+)
+
+
+def build_two_phase_trace():
+    builder = WorkloadBuilder("mcf_two_phase", seed=5, alu_per_load=5)
+    # Phase 1 (regular): a stride-2 arc-array walk, CS territory.
+    strided_pattern(builder, "arcs", 0x1000_0000, 2_000, stride_lines=2)
+    # Phase 2 (irregular): dependent chasing over a >LLC pool.
+    pointer_chase(builder, "tree", 0x9000_0000, 80_000, 6_000)
+    return builder.build()
+
+
+def main() -> None:
+    trace = build_two_phase_trace()
+    hierarchy = build_hierarchy(
+        SystemParams(), l1_prefetcher=IpcpL1(), l2_prefetcher=IpcpL2()
+    )
+    cpu = Cpu(hierarchy)
+    recorder = TimelineRecorder(cpu, hierarchy, interval=8_000)
+    windows = recorder.run(trace)
+    shifts = set(phase_shift_windows(windows, factor=1.5))
+
+    rows = []
+    for i, window in enumerate(windows):
+        rows.append([
+            f"{window.start_instruction // 1000}k",
+            window.ipc,
+            window.l1_mpki,
+            window.pf_issued,
+            window.pf_useful,
+            "<-- phase shift" if i in shifts else "",
+        ])
+    print(format_table(
+        ["window @", "IPC", "L1 MPKI", "pf issued", "pf useful", ""],
+        rows,
+        title=f"Windowed behaviour of {trace.name} under IPCP",
+    ))
+    print(f"\n{len(shifts)} phase shift(s) detected across "
+          f"{len(windows)} windows: the regular phase runs fast with "
+          "high prefetch\nactivity; after the shift the chase phase "
+          "collapses IPC and prefetching dries up\n(the paper's "
+          "mcf-1152B vs mcf-1536B contrast in one trace).")
+
+
+if __name__ == "__main__":
+    main()

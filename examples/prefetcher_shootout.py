@@ -1,0 +1,52 @@
+"""Prefetcher shootout: the paper's evaluation in one script.
+
+Runs the memory-intensive synthetic suite against every multi-level
+combination from Table III and prints the Fig. 8-style speedup table
+plus the storage-vs-performance tradeoff the paper's abstract leads
+with (IPCP beats SPP+PPF and Bingo "by demanding 30X to 50X less
+storage").
+
+Run:  python examples/prefetcher_shootout.py   (takes a minute or two)
+"""
+
+from repro.analysis import ExperimentRunner
+from repro.prefetchers import make_prefetcher
+from repro.stats import format_table
+from repro.workloads import memory_intensive_suite
+
+CONFIGS = ["ipcp", "spp_ppf_dspatch", "mlop", "bingo", "tskid", "dol"]
+
+
+def storage_kb(config_name: str) -> float:
+    levels = make_prefetcher(config_name)
+    bits = sum(factory().storage_bits for factory in levels.values())
+    return bits / 8 / 1024
+
+
+def main() -> None:
+    suite = memory_intensive_suite(scale=0.4)
+    runner = ExperimentRunner(suite)
+
+    rows = runner.speedup_table(CONFIGS)
+    print(format_table(
+        ["trace"] + CONFIGS, rows,
+        title="Speedup over no prefetching (memory-intensive suite)",
+    ))
+
+    print()
+    tradeoff = []
+    means = dict(zip(CONFIGS, rows[-1][1:]))
+    for config in CONFIGS:
+        kb = storage_kb(config)
+        density = (means[config] - 1) / kb if kb else float("inf")
+        tradeoff.append([config, means[config], f"{kb:.2f} KB",
+                         f"{density:.3f}/KB"])
+    print(format_table(
+        ["combination", "mean speedup", "storage", "gain density"],
+        tradeoff,
+        title="Performance density (the paper's 30-50x storage argument)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Experiment drivers shared by the benchmark suite and examples."""
+
+from repro.analysis.experiments import (
+    ExperimentRunner,
+    run_levels,
+)
+from repro.analysis.sweep import sweep_dram_bandwidth, sweep_system
+
+__all__ = [
+    "ExperimentRunner",
+    "run_levels",
+    "sweep_dram_bandwidth",
+    "sweep_system",
+]

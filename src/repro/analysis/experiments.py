@@ -1,0 +1,87 @@
+"""High-level experiment runner used by every figure/table benchmark.
+
+:class:`ExperimentRunner` runs (trace x named-configuration) cells and
+memoizes results, so a benchmark session that regenerates several
+figures over the same suite only simulates each cell once.  Named
+configurations come from the prefetcher registry
+(:func:`repro.prefetchers.make_prefetcher`).
+"""
+
+from __future__ import annotations
+
+from repro.params import SystemParams
+from repro.prefetchers import make_prefetcher
+from repro.sim.engine import SimResult, simulate
+from repro.sim.trace import Trace
+from repro.stats.metrics import geometric_mean, speedup
+
+
+def run_levels(
+    trace: Trace,
+    config_name: str,
+    params: SystemParams | None = None,
+) -> SimResult:
+    """Simulate one trace under one registered configuration."""
+    levels = make_prefetcher(config_name)
+    return simulate(
+        trace,
+        l1_prefetcher=levels["l1"]() if "l1" in levels else None,
+        l2_prefetcher=levels["l2"]() if "l2" in levels else None,
+        llc_prefetcher=levels["llc"]() if "llc" in levels else None,
+        params=params,
+    )
+
+
+class ExperimentRunner:
+    """Memoizing (trace, config) -> SimResult runner over a fixed suite."""
+
+    def __init__(
+        self,
+        traces: list[Trace],
+        params: SystemParams | None = None,
+    ) -> None:
+        self.traces = {trace.name: trace for trace in traces}
+        self.params = params
+        self._cache: dict[tuple[str, str], SimResult] = {}
+
+    def result(self, trace_name: str, config_name: str) -> SimResult:
+        """Run (or recall) one cell."""
+        key = (trace_name, config_name)
+        if key not in self._cache:
+            self._cache[key] = run_levels(
+                self.traces[trace_name], config_name, self.params
+            )
+        return self._cache[key]
+
+    def speedups(self, config_name: str, baseline: str = "none"
+                 ) -> dict[str, float]:
+        """Per-trace speedup of ``config_name`` over ``baseline``."""
+        return {
+            name: speedup(
+                self.result(name, config_name), self.result(name, baseline)
+            )
+            for name in self.traces
+        }
+
+    def mean_speedup(self, config_name: str, baseline: str = "none") -> float:
+        """Geometric-mean speedup over the suite (the paper's averages)."""
+        return geometric_mean(self.speedups(config_name, baseline).values())
+
+    def speedup_table(
+        self, config_names: list[str], baseline: str = "none"
+    ) -> list[list]:
+        """Rows of [trace, speedup_per_config...] plus a geomean row."""
+        rows = []
+        for name in self.traces:
+            row: list = [name]
+            for config in config_names:
+                row.append(
+                    speedup(self.result(name, config),
+                            self.result(name, baseline))
+                )
+            rows.append(row)
+        mean_row: list = ["geomean"]
+        for config in config_names:
+            mean_row.append(self.mean_speedup(config, baseline))
+        rows.append(mean_row)
+        return rows

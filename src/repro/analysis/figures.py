@@ -1,0 +1,122 @@
+"""Programmatic regeneration of the paper's core tables and figures.
+
+The benchmark suite (``benchmarks/``) wraps these with assertions; this
+module exposes the same experiments as plain functions so scripts and
+the ``python -m repro report`` command can regenerate the artifacts
+without pytest.  Each function returns ``(title, headers, rows)`` ready
+for :func:`repro.stats.format_table`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import ExperimentRunner
+from repro.analysis.tracestats import analyze_trace
+from repro.core import ipcp_storage_report
+from repro.prefetchers import make_prefetcher
+from repro.sim.engine import simulate_ideal
+from repro.stats import class_contributions
+
+FigureData = tuple[str, list[str], list[list]]
+
+TOP_COMBINATIONS = ["ipcp", "spp_ppf_dspatch", "mlop", "bingo", "tskid"]
+
+
+def table1_storage() -> FigureData:
+    """Table I: IPCP storage accounting."""
+    report = ipcp_storage_report()
+    rows = [
+        ["IP table + CSPT + RST + class bits + RR", report.l1_table_bits],
+        ["counters/registers", report.l1_other_bits],
+        ["IPCP at L1 (bytes)", report.l1_bytes],
+        ["IPCP at L2 (bytes)", report.l2_bytes],
+        ["framework total (bytes)", report.total_bytes],
+    ]
+    return "Table I: IPCP storage overhead", ["structure", "bits/bytes"], rows
+
+
+def table3_combinations() -> FigureData:
+    """Table III: multi-level combinations and storage."""
+    rows = []
+    for name in TOP_COMBINATIONS:
+        levels = {lvl: f() for lvl, f in make_prefetcher(name).items()}
+        layout = ", ".join(f"{pf.name}@{lvl.upper()}"
+                           for lvl, pf in levels.items())
+        kb = sum(pf.storage_bits for pf in levels.values()) / 8 / 1024
+        rows.append([name, layout, f"{kb:.2f} KB"])
+    return ("Table III: multi-level prefetching combinations",
+            ["combination", "prefetchers", "storage"], rows)
+
+
+def fig8_speedups(runner: ExperimentRunner,
+                  configs: list[str] | None = None) -> FigureData:
+    """Fig. 8: multi-level speedups over the runner's suite."""
+    configs = configs or TOP_COMBINATIONS
+    rows = runner.speedup_table(configs)
+    return ("Fig. 8: speedup over no prefetching",
+            ["trace"] + configs, rows)
+
+
+def fig10_coverage(runner: ExperimentRunner) -> FigureData:
+    """Fig. 10: IPCP demand-miss coverage per level (cross-run)."""
+    rows = []
+    for name in runner.traces:
+        result = runner.result(name, "ipcp")
+        baseline = runner.result(name, "none")
+        row = [name]
+        for level in ("l1", "l2", "llc"):
+            base = getattr(baseline, level).demand_misses
+            with_pf = getattr(result, level).demand_misses
+            row.append(max(0.0, 1.0 - with_pf / base) if base else 0.0)
+        rows.append(row)
+    return ("Fig. 10: IPCP coverage per level",
+            ["trace", "L1", "L2", "LLC"], rows)
+
+
+def fig12_classes(runner: ExperimentRunner) -> FigureData:
+    """Fig. 12: per-class contribution to IPCP's L1 coverage."""
+    labels = ["cs", "cplx", "gs", "nl", "ts"]
+    rows = []
+    for name in runner.traces:
+        contributions = class_contributions(runner.result(name, "ipcp"))
+        rows.append([name] + [contributions.get(c, 0.0) for c in labels])
+    return ("Fig. 12: class contribution to L1 coverage",
+            ["trace"] + labels, rows)
+
+
+def opportunity(runner: ExperimentRunner) -> FigureData:
+    """Section I: ideal-L1 headroom and IPCP's captured share."""
+    rows = []
+    for name, trace in runner.traces.items():
+        base = runner.result(name, "none")
+        ipcp = runner.result(name, "ipcp")
+        ideal = simulate_ideal(trace)
+        headroom = ideal - base.ipc
+        captured = (ipcp.ipc - base.ipc) / headroom if headroom > 1e-6 else 1.0
+        rows.append([name, base.ipc, ideal, ipcp.ipc, captured])
+    return ("Section I opportunity: perfect-L1 bound",
+            ["trace", "baseline", "ideal", "ipcp", "captured"], rows)
+
+
+def motivation(runner: ExperimentRunner) -> FigureData:
+    """Section III: per-IP behaviour mix."""
+    classes = ["constant_stride", "complex_stride", "irregular", "singleton"]
+    rows = []
+    for name, trace in runner.traces.items():
+        profile = analyze_trace(trace)
+        shares = profile.class_shares()
+        rows.append([name, profile.distinct_ips]
+                    + [shares.get(c, 0.0) for c in classes]
+                    + [profile.dense_region_fraction])
+    return ("Section III: per-IP behaviour mix",
+            ["trace", "IPs"] + classes + ["dense regions"], rows)
+
+
+ALL_FIGURES = {
+    "table1": lambda runner: table1_storage(),
+    "table3": lambda runner: table3_combinations(),
+    "fig8": fig8_speedups,
+    "fig10": fig10_coverage,
+    "fig12": fig12_classes,
+    "opportunity": opportunity,
+    "motivation": motivation,
+}

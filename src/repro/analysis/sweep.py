@@ -1,0 +1,65 @@
+"""Parameter sweeps for the paper's sensitivity studies (Section VI-C).
+
+Each helper builds a :class:`~repro.params.SystemParams` variant —
+different DRAM bandwidth, cache sizes, PQ/MSHR budgets or replacement
+policy — so the sensitivity benchmarks can rerun the same suite across
+the swept axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.params import (
+    CacheParams,
+    CoreParams,
+    DramParams,
+    SystemParams,
+    default_l1d,
+    default_l2,
+    default_llc,
+)
+
+
+def sweep_system(
+    l1_size: int | None = None,
+    l2_size: int | None = None,
+    llc_size: int | None = None,
+    l1_pq: int | None = None,
+    l1_mshr: int | None = None,
+    replacement: str | None = None,
+    dram_bandwidth_gbps: float | None = None,
+) -> SystemParams:
+    """Build a Table II variant with the given overrides.
+
+    Sizes are bytes; ways are rescaled to keep a power-of-two set count
+    when the size changes by a power of two, otherwise the default way
+    counts are kept.
+    """
+    l1 = default_l1d()
+    l2 = default_l2()
+    llc = default_llc()
+    if l1_size is not None:
+        l1 = CacheParams("L1D", l1_size, 12 if l1_size % (12 * 64) == 0 else 8,
+                         5, l1.pq_entries, l1.mshr_entries)
+    if l1_pq is not None or l1_mshr is not None:
+        l1 = replace(
+            l1,
+            pq_entries=l1_pq if l1_pq is not None else l1.pq_entries,
+            mshr_entries=l1_mshr if l1_mshr is not None else l1.mshr_entries,
+        )
+    if l2_size is not None:
+        l2 = replace(l2, size=l2_size)
+    if llc_size is not None:
+        llc = replace(llc, size=llc_size)
+    if replacement is not None:
+        llc = replace(llc, replacement=replacement)
+    dram = DramParams()
+    if dram_bandwidth_gbps is not None:
+        dram = replace(dram, bandwidth_gbps=dram_bandwidth_gbps)
+    return SystemParams(core=CoreParams(), l1d=l1, l2=l2, llc=llc, dram=dram)
+
+
+def sweep_dram_bandwidth(bandwidths_gbps: list[float]) -> list[SystemParams]:
+    """One SystemParams per bandwidth point (the 3.2/12.8/25 GB/s study)."""
+    return [sweep_system(dram_bandwidth_gbps=bw) for bw in bandwidths_gbps]

@@ -1,0 +1,131 @@
+"""Validation harness for prefetcher implementations.
+
+IPCP's pitch is modularity — "a new access pattern can be added ... as
+a new class seamlessly" — so downstream users will write their own
+prefetchers.  :func:`check_prefetcher` drives an implementation with a
+workload and audits the contract every cache level assumes:
+
+* requests never cross the 4 KB page of their trigger (the spatial
+  contract all of the paper's prefetchers honour);
+* request addresses are non-negative, line-meaningful integers;
+* metadata fits the 9-bit wire format;
+* per-access request counts stay within a sane burst bound;
+* the prefetcher never raises and never mutates the context.
+
+Violations come back as structured records rather than exceptions, so
+a test suite can assert on them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import LINES_PER_PAGE
+from repro.prefetchers.base import AccessContext, AccessType, Prefetcher
+from repro.sim.trace import LOAD, STORE, Trace
+
+MAX_BURST = 64  # requests per access beyond which we call it a runaway
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected contract violation."""
+
+    kind: str
+    access_index: int
+    detail: str
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a :func:`check_prefetcher` run."""
+
+    accesses: int
+    requests: int
+    violations: list[Violation]
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations were detected."""
+        return not self.violations
+
+    def by_kind(self) -> dict[str, int]:
+        """Violation counts per kind."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.kind] = counts.get(violation.kind, 0) + 1
+        return counts
+
+
+def _audit(index: int, ctx: AccessContext, requests,
+           allow_cross_page: bool) -> list[Violation]:
+    violations = []
+    if len(requests) > MAX_BURST:
+        violations.append(Violation(
+            "burst", index,
+            f"{len(requests)} requests from one access (> {MAX_BURST})",
+        ))
+    trigger_page = (ctx.addr >> 6) // LINES_PER_PAGE
+    for request in requests:
+        if not isinstance(request.addr, int) or request.addr < 0:
+            violations.append(Violation(
+                "bad_address", index, f"addr={request.addr!r}"))
+            continue
+        if not allow_cross_page:
+            page = (request.addr >> 6) // LINES_PER_PAGE
+            if page != trigger_page:
+                violations.append(Violation(
+                    "page_cross", index,
+                    f"trigger page {trigger_page:#x} -> request page "
+                    f"{page:#x}",
+                ))
+        if not 0 <= request.metadata < 512:
+            violations.append(Violation(
+                "metadata_width", index,
+                f"metadata {request.metadata} exceeds 9 bits",
+            ))
+        if request.pf_class < 0:
+            violations.append(Violation(
+                "bad_class", index, f"pf_class={request.pf_class}"))
+    return violations
+
+
+def check_prefetcher(
+    prefetcher: Prefetcher,
+    trace: Trace,
+    allow_cross_page: bool = False,
+    mpki: float = 20.0,
+) -> ValidationReport:
+    """Drive ``prefetcher`` with ``trace`` and audit every response.
+
+    ``allow_cross_page`` relaxes the page-boundary rule for prefetchers
+    that legitimately cross pages (temporal prefetchers predicting
+    physical successors).
+    """
+    violations: list[Violation] = []
+    accesses = 0
+    requests_total = 0
+    for index, (kind, ip, addr, _) in enumerate(trace):
+        if kind not in (LOAD, STORE):
+            continue
+        accesses += 1
+        ctx = AccessContext(
+            ip=ip,
+            addr=addr,
+            cache_hit=False,
+            kind=AccessType.LOAD if kind == LOAD else AccessType.STORE,
+            cycle=index * 10,
+            mpki=mpki,
+        )
+        try:
+            requests = prefetcher.on_access(ctx)
+        except Exception as error:  # noqa: BLE001 - audit, don't crash
+            violations.append(Violation("exception", index, repr(error)))
+            continue
+        requests_total += len(requests)
+        violations.extend(_audit(index, ctx, requests, allow_cross_page))
+    return ValidationReport(
+        accesses=accesses,
+        requests=requests_total,
+        violations=violations,
+    )

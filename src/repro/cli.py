@@ -1,0 +1,285 @@
+"""Command-line interface: run paper experiments from the shell.
+
+Examples::
+
+    python -m repro list-prefetchers
+    python -m repro list-workloads
+    python -m repro run --workload lbm_like --prefetcher ipcp
+    python -m repro compare --workloads lbm_like,bwaves_like \\
+                            --prefetchers ipcp,mlop,bingo
+    python -m repro analyze --workload mcf_i_like
+    python -m repro mix --workload lbm_like --cores 4 --prefetcher ipcp
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import ExperimentRunner, run_levels
+from repro.analysis.tracestats import analyze_trace
+from repro.analysis.validate import check_prefetcher
+from repro.errors import ReproError
+from repro.prefetchers import available_prefetchers, make_prefetcher
+from repro.sim.multicore import simulate_mix
+from repro.sim.trace import load_trace, save_trace
+from repro.stats import format_table, normalized_weighted_speedup
+from repro.workloads import homogeneous_mix, spec_trace
+from repro.workloads.cloudsuite import CLOUDSUITE_BENCHMARKS, cloudsuite_trace
+from repro.workloads.neural import NEURAL_BENCHMARKS, neural_trace
+from repro.workloads.spec import (
+    EXTENSION_BENCHMARKS,
+    SPEC_BENCHMARKS,
+    extension_trace,
+)
+
+
+def build_trace(name: str, scale: float):
+    """Resolve a workload name across the SPEC/cloud/neural suites."""
+    if name in SPEC_BENCHMARKS:
+        return spec_trace(name, scale)
+    if name in CLOUDSUITE_BENCHMARKS:
+        return cloudsuite_trace(name, scale)
+    if name in NEURAL_BENCHMARKS:
+        return neural_trace(name, scale)
+    if name in EXTENSION_BENCHMARKS:
+        return extension_trace(name, scale)
+    raise ReproError(
+        f"unknown workload {name!r}; see `python -m repro list-workloads`"
+    )
+
+
+def cmd_list_prefetchers(args) -> int:
+    rows = []
+    for name in available_prefetchers():
+        levels = make_prefetcher(name)
+        built = {level: factory() for level, factory in levels.items()}
+        layout = ", ".join(
+            f"{pf.name}@{level.upper()}" for level, pf in built.items()
+        ) or "(no prefetching)"
+        bits = sum(pf.storage_bits for pf in built.values())
+        rows.append([name, layout, f"{bits / 8 / 1024:.2f} KB"])
+    print(format_table(["name", "levels", "storage"], rows))
+    return 0
+
+
+def cmd_list_workloads(args) -> int:
+    rows = []
+    for name, (_, intensive, _) in SPEC_BENCHMARKS.items():
+        rows.append([name, "spec", "yes" if intensive else "no"])
+    for name in CLOUDSUITE_BENCHMARKS:
+        rows.append([name, "cloudsuite", "-"])
+    for name in NEURAL_BENCHMARKS:
+        rows.append([name, "neural", "-"])
+    for name in EXTENSION_BENCHMARKS:
+        rows.append([name, "extension", "-"])
+    print(format_table(["workload", "suite", "memory-intensive"], rows))
+    return 0
+
+
+def cmd_run(args) -> int:
+    trace = build_trace(args.workload, args.scale)
+    baseline = run_levels(trace, "none")
+    result = run_levels(trace, args.prefetcher)
+    rows = [
+        ["IPC", baseline.ipc, result.ipc],
+        ["speedup", 1.0, result.speedup_over(baseline)],
+        ["L1 demand MPKI", baseline.mpki("l1"), result.mpki("l1")],
+        ["LLC demand MPKI", baseline.mpki("llc"), result.mpki("llc")],
+        ["L1 coverage", "-", result.l1.coverage],
+        ["L1 accuracy", "-", result.l1.accuracy],
+        ["DRAM reads", baseline.dram_reads, result.dram_reads],
+    ]
+    print(format_table(
+        ["metric", "no prefetching", args.prefetcher], rows,
+        title=f"{trace.name} ({len(trace)} instructions)",
+    ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    traces = [build_trace(name, args.scale)
+              for name in args.workloads.split(",")]
+    configs = args.prefetchers.split(",")
+    runner = ExperimentRunner(traces)
+    rows = runner.speedup_table(configs)
+    print(format_table(["trace"] + configs, rows,
+                       title="Speedup over no prefetching"))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    trace = build_trace(args.workload, args.scale)
+    profile = analyze_trace(trace)
+    shares = profile.class_shares()
+    rows = [[label, share] for label, share in shares.items()]
+    rows.append(["dense 2KB regions", profile.dense_region_fraction])
+    rows.append(["distinct IPs", profile.distinct_ips])
+    rows.append(["loads analyzed", profile.loads])
+    print(format_table(
+        ["property", "value"], rows,
+        title=f"Section III pattern profile: {trace.name}",
+    ))
+    return 0
+
+
+def cmd_dump_trace(args) -> int:
+    trace = build_trace(args.workload, args.scale)
+    save_trace(trace, args.out)
+    print(f"wrote {len(trace)} records ({trace.load_records} loads) "
+          f"to {args.out}")
+    return 0
+
+
+def cmd_run_trace(args) -> int:
+    trace = load_trace(args.trace_file)
+    baseline = run_levels(trace, "none")
+    result = run_levels(trace, args.prefetcher)
+    rows = [
+        ["IPC", baseline.ipc, result.ipc],
+        ["speedup", 1.0, result.speedup_over(baseline)],
+        ["L1 coverage", "-", result.l1.coverage],
+    ]
+    print(format_table(
+        ["metric", "no prefetching", args.prefetcher], rows,
+        title=f"{args.trace_file} ({len(trace)} instructions)",
+    ))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    levels = make_prefetcher(args.prefetcher)
+    trace = build_trace(args.workload, args.scale)
+    exit_code = 0
+    for level, factory in levels.items():
+        report = check_prefetcher(
+            factory(), trace, allow_cross_page=args.allow_cross_page
+        )
+        status = "OK" if report.ok else "VIOLATIONS"
+        print(f"{args.prefetcher}@{level.upper()}: {status} — "
+              f"{report.accesses} accesses, {report.requests} requests")
+        for kind, count in sorted(report.by_kind().items()):
+            print(f"  {kind}: {count}")
+            exit_code = 1
+    return exit_code
+
+
+def cmd_report(args) -> int:
+    import os
+
+    from repro.analysis.figures import ALL_FIGURES
+    from repro.workloads import memory_intensive_suite
+
+    from repro.stats.export import write_csv
+
+    os.makedirs(args.out, exist_ok=True)
+    runner = ExperimentRunner(memory_intensive_suite(scale=args.scale))
+    for name, figure in ALL_FIGURES.items():
+        title, headers, rows = figure(runner)
+        text = format_table(headers, rows, title=title)
+        path = os.path.join(args.out, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        write_csv(os.path.join(args.out, f"{name}.csv"), headers, rows)
+        print(f"wrote {path} (+ .csv)")
+    return 0
+
+
+def cmd_mix(args) -> int:
+    traces = homogeneous_mix(args.workload, args.cores, scale=args.scale)
+    levels = make_prefetcher(args.prefetcher)
+    base = simulate_mix(traces)
+    result = simulate_mix(
+        traces,
+        l1_factory=levels.get("l1"),
+        l2_factory=levels.get("l2"),
+        llc_factory=levels.get("llc"),
+    )
+    rows = [
+        ["weighted speedup (baseline)", base.weighted_speedup],
+        [f"weighted speedup ({args.prefetcher})", result.weighted_speedup],
+        ["normalized", normalized_weighted_speedup(result, base)],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.cores}-core homogeneous mix of {args.workload}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IPCP (ISCA 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-prefetchers").set_defaults(func=cmd_list_prefetchers)
+    sub.add_parser("list-workloads").set_defaults(func=cmd_list_workloads)
+
+    run = sub.add_parser("run", help="run one workload + prefetcher")
+    run.add_argument("--workload", required=True)
+    run.add_argument("--prefetcher", default="ipcp")
+    run.add_argument("--scale", type=float, default=0.5)
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="speedup table")
+    compare.add_argument("--workloads", required=True,
+                         help="comma-separated workload names")
+    compare.add_argument("--prefetchers", default="ipcp,mlop,bingo")
+    compare.add_argument("--scale", type=float, default=0.4)
+    compare.set_defaults(func=cmd_compare)
+
+    analyze = sub.add_parser("analyze", help="Section III pattern profile")
+    analyze.add_argument("--workload", required=True)
+    analyze.add_argument("--scale", type=float, default=0.4)
+    analyze.set_defaults(func=cmd_analyze)
+
+    dump = sub.add_parser("dump-trace", help="write a workload trace file")
+    dump.add_argument("--workload", required=True)
+    dump.add_argument("--out", required=True)
+    dump.add_argument("--scale", type=float, default=0.5)
+    dump.set_defaults(func=cmd_dump_trace)
+
+    run_trace = sub.add_parser("run-trace", help="simulate a trace file")
+    run_trace.add_argument("--trace-file", required=True)
+    run_trace.add_argument("--prefetcher", default="ipcp")
+    run_trace.set_defaults(func=cmd_run_trace)
+
+    validate = sub.add_parser(
+        "validate", help="audit a prefetcher's request contract")
+    validate.add_argument("--prefetcher", required=True)
+    validate.add_argument("--workload", default="roms_like")
+    validate.add_argument("--scale", type=float, default=0.2)
+    validate.add_argument("--allow-cross-page", action="store_true")
+    validate.set_defaults(func=cmd_validate)
+
+    report = sub.add_parser(
+        "report", help="regenerate the core paper artifacts")
+    report.add_argument("--out", default="report")
+    report.add_argument("--scale", type=float, default=0.4)
+    report.set_defaults(func=cmd_report)
+
+    mix = sub.add_parser("mix", help="homogeneous multicore mix")
+    mix.add_argument("--workload", required=True)
+    mix.add_argument("--cores", type=int, default=4)
+    mix.add_argument("--prefetcher", default="ipcp")
+    mix.add_argument("--scale", type=float, default=0.25)
+    mix.set_defaults(func=cmd_mix)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""JSON (de)serialisation of system configurations.
+
+Lets experiments be pinned to a config file::
+
+    from repro.config_io import load_system, save_system
+    save_system(SystemParams(), "table2.json")
+    params = load_system("table2.json")
+
+Only plain dataclass fields are stored, so configs are stable across
+library versions that keep the same parameter names.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+from repro.errors import ConfigurationError
+from repro.params import (
+    CacheParams,
+    CoreParams,
+    DramParams,
+    SystemParams,
+)
+
+
+def system_to_dict(params: SystemParams) -> dict:
+    """Convert a SystemParams tree into plain JSON-ready dicts."""
+    return {
+        "core": asdict(params.core),
+        "l1d": asdict(params.l1d),
+        "l2": asdict(params.l2),
+        "llc": asdict(params.llc),
+        "dram": asdict(params.dram),
+        "model_tlb": params.model_tlb,
+    }
+
+
+def system_from_dict(data: dict) -> SystemParams:
+    """Rebuild SystemParams from :func:`system_to_dict` output."""
+    try:
+        return SystemParams(
+            core=CoreParams(**data["core"]),
+            l1d=CacheParams(**data["l1d"]),
+            l2=CacheParams(**data["l2"]),
+            llc=CacheParams(**data["llc"]),
+            dram=DramParams(**data["dram"]),
+            model_tlb=bool(data.get("model_tlb", True)),
+        )
+    except (KeyError, TypeError) as error:
+        raise ConfigurationError(f"malformed system config: {error}") from error
+
+
+def save_system(params: SystemParams, path: str) -> None:
+    """Write a system configuration as JSON."""
+    with open(path, "w") as fh:
+        json.dump(system_to_dict(params), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_system(path: str) -> SystemParams:
+    """Read a system configuration written by :func:`save_system`."""
+    with open(path) as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"{path}: invalid JSON: {error}"
+            ) from error
+    return system_from_dict(data)

@@ -1,0 +1,23 @@
+"""IPCP: Instruction Pointer Classifier-based spatial Prefetching.
+
+The paper's contribution.  :class:`IpcpL1` is the bouquet of tiny
+class prefetchers at the L1-D (CS, CPLX, GS, tentative NL) built around
+a shared 64-entry IP table; :class:`IpcpL2` is the metadata-driven L2
+companion.  :func:`ipcp_storage_report` regenerates Table I's storage
+accounting bit-for-bit.
+"""
+
+from repro.core.ipcp_l1 import IpcpConfig, IpcpL1, PfClass
+from repro.core.ipcp_l2 import IpcpL2
+from repro.core.metadata import decode_metadata, encode_metadata
+from repro.core.storage import ipcp_storage_report
+
+__all__ = [
+    "IpcpConfig",
+    "IpcpL1",
+    "IpcpL2",
+    "PfClass",
+    "decode_metadata",
+    "encode_metadata",
+    "ipcp_storage_report",
+]

@@ -1,0 +1,36 @@
+"""The 9-bit L1 -> L2 metadata packet (Section V, "Metadata Decoding").
+
+Every prefetch IPCP issues from the L1 carries 9 bits on the otherwise
+unused L1->L2 bus wires: a 2-bit class type and a 7-bit two's-complement
+stride (for CS) or stream direction (for GS).  The IP itself is not in
+the packet — the request's IP accompanies it anyway.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.core.ip_table import SIGNATURE_MASK, clamp_stride
+
+
+class MetaClass(IntEnum):
+    """2-bit class-type field: three classes plus "no class"."""
+
+    NONE = 0
+    CS = 1
+    GS = 2
+    NL = 3
+
+
+def encode_metadata(meta_class: MetaClass, stride: int = 0) -> int:
+    """Pack (class, stride/direction) into the 9-bit wire format."""
+    stride = clamp_stride(stride)
+    return (int(meta_class) << 7) | (stride & SIGNATURE_MASK)
+
+
+def decode_metadata(packet: int) -> tuple[MetaClass, int]:
+    """Unpack a 9-bit packet into (class, signed stride)."""
+    meta_class = MetaClass((packet >> 7) & 0x3)
+    raw = packet & SIGNATURE_MASK
+    stride = raw - 128 if raw >= 64 else raw  # 7-bit two's complement
+    return meta_class, stride

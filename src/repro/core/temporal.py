@@ -1,0 +1,74 @@
+"""Optional temporal (TS) class for IPCP — the paper's future work.
+
+Section VII: "enhancing IPCP with a temporal component for covering
+temporal and irregular accesses" (and the paper notes all temporal
+prefetchers can use IPCP as their spatial counterpart because IPCP is
+under 900 bytes).  This module adds exactly that: a bounded
+Markov-style successor table that trains on the per-IP access stream
+and fires only when *no spatial class claimed the access* — irregular
+traffic with recurring temporal order (mcf/omnetpp-style loops over
+pointer structures) that CS/CPLX/GS structurally cannot cover.
+
+It is disabled by default (``IpcpConfig(enable_temporal=True)`` turns
+it on) so the baseline IPCP stays exactly the paper's 895-byte design;
+the storage of the temporal table is accounted separately.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+CONFIDENCE_MAX = 3
+
+
+class TemporalTable:
+    """Bounded line-successor predictor with 2-bit confidence."""
+
+    def __init__(self, entries: int = 4096, degree: int = 2) -> None:
+        self.entries = entries
+        self.degree = degree
+        # line -> [successor_line, confidence]
+        self._table: OrderedDict[int, list] = OrderedDict()
+
+    def train(self, previous_line: int, line: int) -> None:
+        """Record that ``line`` followed ``previous_line``."""
+        if previous_line == line:
+            return
+        entry = self._table.get(previous_line)
+        if entry is None:
+            if len(self._table) >= self.entries:
+                self._table.popitem(last=False)
+            self._table[previous_line] = [line, 1]
+            return
+        self._table.move_to_end(previous_line)
+        if entry[0] == line:
+            entry[1] = min(CONFIDENCE_MAX, entry[1] + 1)
+        else:
+            entry[1] -= 1
+            if entry[1] <= 0:
+                entry[0] = line
+                entry[1] = 1
+
+    def predict_chain(self, line: int, degree: int | None = None
+                      ) -> list[int]:
+        """Follow confident successors up to ``degree`` lines deep."""
+        degree = degree if degree is not None else self.degree
+        chain = []
+        current = line
+        seen = {line}
+        for _ in range(degree):
+            entry = self._table.get(current)
+            if entry is None or entry[1] < 1 or entry[0] in seen:
+                break
+            chain.append(entry[0])
+            seen.add(entry[0])
+            current = entry[0]
+        return chain
+
+    @property
+    def storage_bits(self) -> int:
+        """On-chip budget of the table (successor pointer + confidence)."""
+        return self.entries * (36 + 2)
+
+    def __len__(self) -> int:
+        return len(self._table)

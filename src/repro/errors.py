@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation or prefetcher configuration is invalid.
+
+    Raised eagerly at construction time (e.g. a cache whose size is not a
+    multiple of ``ways * line_size``, or a prefetch degree below one).
+    """
+
+
+class TraceError(ReproError):
+    """A trace record or trace file is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""

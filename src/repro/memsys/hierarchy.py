@@ -1,0 +1,135 @@
+"""Wiring of the full memory hierarchy: L1-D -> L2 -> LLC -> DRAM.
+
+A :class:`Hierarchy` owns one core's private L1-D and L2 plus
+(possibly shared) LLC and DRAM, the per-core virtual memory map, and the
+instruction counter the caches sample MPKI against.  The CPU model calls
+:meth:`Hierarchy.load` / :meth:`Hierarchy.store` with *virtual*
+addresses; translation happens here so L1 prefetchers train on virtual
+addresses while the physical hierarchy below sees scrambled frames —
+exactly the paper's setup.
+"""
+
+from __future__ import annotations
+
+from repro.memsys.cache import AccessKind, Cache
+from repro.memsys.dram import Dram
+from repro.memsys.tlb import TlbHierarchy
+from repro.memsys.vmem import VirtualMemory
+from repro.params import PAGE_BITS, SystemParams
+from repro.prefetchers.base import Prefetcher
+
+
+class DramPort:
+    """Adapter giving :class:`~repro.memsys.dram.Dram` the cache access API."""
+
+    def __init__(self, dram: Dram) -> None:
+        self.dram = dram
+
+    def access(
+        self,
+        addr: int,
+        cycle: int,
+        kind: AccessKind,
+        ip: int = 0,
+        metadata: int = 0,
+        pf_class: int = 0,
+    ) -> int:
+        if kind == AccessKind.WRITEBACK:
+            self.dram.write(addr, cycle)
+            return cycle
+        return self.dram.read(addr, cycle)
+
+
+class Hierarchy:
+    """One core's view of the memory system."""
+
+    def __init__(
+        self,
+        l1d: Cache,
+        l2: Cache,
+        llc: Cache,
+        dram: Dram,
+        vmem: VirtualMemory,
+        tlb: TlbHierarchy | None = None,
+    ) -> None:
+        self.l1d = l1d
+        self.l2 = l2
+        self.llc = llc
+        self.dram = dram
+        self.vmem = vmem
+        self.tlb = tlb
+        self.instructions = 0
+        counter = lambda: self.instructions  # noqa: E731 - tiny closure
+        for cache in (l1d, l2, llc):
+            cache.instruction_source = counter
+
+    def tick_instruction(self, count: int = 1) -> None:
+        """Advance the retired-instruction counter (drives MPKI sampling)."""
+        self.instructions += count
+
+    def _translate_delay(self, vaddr: int) -> int:
+        if self.tlb is None:
+            return 0
+        return self.tlb.access(vaddr >> PAGE_BITS)
+
+    def load(self, vaddr: int, ip: int, cycle: int) -> int:
+        """Demand load; returns the data-ready cycle."""
+        cycle += self._translate_delay(vaddr)
+        paddr = self.vmem.translate(vaddr)
+        ready = self.l1d.access(
+            paddr, cycle, AccessKind.LOAD, ip=ip, vaddr=vaddr
+        )
+        assert ready is not None
+        return ready
+
+    def store(self, vaddr: int, ip: int, cycle: int) -> int:
+        """Demand store (write-allocate); returns the completion cycle."""
+        cycle += self._translate_delay(vaddr)
+        paddr = self.vmem.translate(vaddr)
+        ready = self.l1d.access(
+            paddr, cycle, AccessKind.STORE, ip=ip, vaddr=vaddr
+        )
+        assert ready is not None
+        return ready
+
+    @property
+    def caches(self) -> tuple[Cache, Cache, Cache]:
+        """(L1D, L2, LLC) for iteration in reports."""
+        return (self.l1d, self.l2, self.llc)
+
+    def reset_stats(self) -> None:
+        """Zero every level's counters and the DRAM traffic counters."""
+        for cache in self.caches:
+            cache.reset_stats()
+        self.dram.reset_stats()
+        if self.tlb is not None:
+            self.tlb.reset_stats()
+
+
+def build_hierarchy(
+    params: SystemParams | None = None,
+    l1_prefetcher: Prefetcher | None = None,
+    l2_prefetcher: Prefetcher | None = None,
+    llc_prefetcher: Prefetcher | None = None,
+    shared_llc: Cache | None = None,
+    shared_dram: Dram | None = None,
+    vmem_seed: int = 1,
+    asid: int = 0,
+) -> Hierarchy:
+    """Build a hierarchy from Table II parameters.
+
+    ``shared_llc``/``shared_dram`` let multicore setups hang several
+    private L1/L2 pairs off one LLC and DRAM.
+    """
+    params = params or SystemParams()
+    vmem = VirtualMemory(seed=vmem_seed, asid=asid)
+    dram = shared_dram or Dram(params.dram)
+    if shared_llc is not None:
+        llc = shared_llc
+    else:
+        llc = Cache(params.llc, DramPort(dram), prefetcher=llc_prefetcher)
+    l2 = Cache(params.l2, llc, prefetcher=l2_prefetcher)
+    # The L1 prefetcher emits virtual addresses; translate them on issue.
+    l1d = Cache(params.l1d, l2, prefetcher=l1_prefetcher, translate=vmem.translate)
+    tlb = TlbHierarchy() if params.model_tlb else None
+    return Hierarchy(l1d, l2, llc, dram, vmem, tlb=tlb)

@@ -1,0 +1,103 @@
+"""TLB hierarchy (Table II: 64-entry DTLB, 1536-entry shared L2 TLB).
+
+Address translation sits on the load path: a DTLB hit is free (its
+latency hides under the L1 lookup), a DTLB miss that hits the STLB adds
+a small penalty, and an STLB miss pays a page-walk penalty.  Both
+levels are modeled as LRU-managed full lookup structures over virtual
+page numbers — associativity conflicts are second-order at the trace
+lengths we simulate.
+
+The data TLBs matter for workloads with big page footprints (the
+CloudSuite-like traces, cactusBSSN's one-column-per-page stencils): a
+prefetcher cannot hide page-walk latency, which keeps those baselines
+honest.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TlbParams:
+    """Table II TLB configuration and miss penalties (core cycles)."""
+
+    dtlb_entries: int = 64
+    stlb_entries: int = 1536
+    stlb_penalty: int = 9
+    walk_penalty: int = 60
+
+    def __post_init__(self) -> None:
+        if self.dtlb_entries < 1 or self.stlb_entries < 1:
+            raise ConfigurationError("TLB levels need at least one entry")
+        if self.stlb_penalty < 0 or self.walk_penalty < 0:
+            raise ConfigurationError("TLB penalties must be non-negative")
+
+
+@dataclass
+class TlbStats:
+    """Translation counters, resettable at the end of warm-up."""
+
+    accesses: int = 0
+    dtlb_misses: int = 0
+    stlb_misses: int = 0
+
+    @property
+    def dtlb_miss_rate(self) -> float:
+        """DTLB misses per access."""
+        return self.dtlb_misses / self.accesses if self.accesses else 0.0
+
+
+class _LruSet:
+    """Fully-associative LRU set of virtual page numbers."""
+
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        self._pages: OrderedDict[int, None] = OrderedDict()
+
+    def lookup(self, vpage: int) -> bool:
+        if vpage in self._pages:
+            self._pages.move_to_end(vpage)
+            return True
+        return False
+
+    def insert(self, vpage: int) -> None:
+        if vpage in self._pages:
+            self._pages.move_to_end(vpage)
+            return
+        if len(self._pages) >= self.entries:
+            self._pages.popitem(last=False)
+        self._pages[vpage] = None
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+class TlbHierarchy:
+    """DTLB + shared STLB; returns the translation delay per access."""
+
+    def __init__(self, params: TlbParams | None = None) -> None:
+        self.params = params or TlbParams()
+        self._dtlb = _LruSet(self.params.dtlb_entries)
+        self._stlb = _LruSet(self.params.stlb_entries)
+        self.stats = TlbStats()
+
+    def access(self, vpage: int) -> int:
+        """Translate ``vpage``; returns the added delay in cycles."""
+        self.stats.accesses += 1
+        if self._dtlb.lookup(vpage):
+            return 0
+        self.stats.dtlb_misses += 1
+        self._dtlb.insert(vpage)
+        if self._stlb.lookup(vpage):
+            return self.params.stlb_penalty
+        self.stats.stlb_misses += 1
+        self._stlb.insert(vpage)
+        return self.params.walk_penalty
+
+    def reset_stats(self) -> None:
+        """Zero the counters (TLB contents persist, like the caches)."""
+        self.stats = TlbStats()

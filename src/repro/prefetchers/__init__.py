@@ -1,0 +1,31 @@
+"""Prefetcher implementations: IPCP's competitors and building blocks.
+
+Every prefetcher implements the :class:`repro.prefetchers.base.Prefetcher`
+interface and can be attached to any cache level of the hierarchy.  The
+registry in :mod:`repro.prefetchers.registry` maps the names used by the
+paper's evaluation (``next_line``, ``ip_stride``, ``bop``, ``spp``,
+``bingo`` ...) to factories, including the multi-level combinations of
+Table III.
+"""
+
+from repro.prefetchers.base import (
+    AccessContext,
+    NullPrefetcher,
+    Prefetcher,
+    PrefetchRequest,
+)
+from repro.prefetchers.registry import (
+    available_prefetchers,
+    make_prefetcher,
+    register_prefetcher,
+)
+
+__all__ = [
+    "AccessContext",
+    "NullPrefetcher",
+    "PrefetchRequest",
+    "Prefetcher",
+    "available_prefetchers",
+    "make_prefetcher",
+    "register_prefetcher",
+]

@@ -1,0 +1,77 @@
+"""Aggregate Stride Prefetcher (ASP; Jain's Ph.D. thesis) — lite.
+
+Cited by the paper as the ancestor of MLOP: instead of tracking
+per-IP strides, ASP aggregates the strides observed across the whole
+access stream and prefetches with the *globally* dominant stride at
+several lookaheads.  It sits between BOP (one offset, one lookahead)
+and MLOP (per-lookahead offset election).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+from repro.params import LINES_PER_PAGE
+from repro.prefetchers.base import (
+    AccessContext,
+    AccessType,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+EPOCH = 256
+MIN_SHARE = 0.5  # stride must match at least half of the epoch's accesses
+
+
+class AspPrefetcher(Prefetcher):
+    """Globally-aggregated stride prefetching with multiple lookaheads."""
+
+    def __init__(self, lookaheads: int = 3, history: int = 8) -> None:
+        super().__init__(name="asp", storage_bits=1024)
+        self.lookaheads = lookaheads
+        self._recent: deque[int] = deque(maxlen=history)
+        self._strides: Counter = Counter()
+        self._observed = 0
+        self._active_stride = 0
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        if ctx.kind == AccessType.PREFETCH:
+            return []
+        line = ctx.addr >> 6
+        # Aggregate strides against the last few accesses (any of them
+        # may be this access's logical predecessor in a jumbled stream).
+        for previous in self._recent:
+            stride = line - previous
+            if 0 < abs(stride) <= 16:
+                self._strides[stride] += 1
+        self._recent.append(line)
+        self._observed += 1
+        if self._observed >= EPOCH:
+            self._close_epoch()
+
+        if not self._active_stride:
+            return []
+        page = line // LINES_PER_PAGE
+        requests = []
+        for k in range(1, self.lookaheads + 1):
+            target = line + self._active_stride * k
+            if target < 0 or target // LINES_PER_PAGE != page:
+                continue
+            requests.append(PrefetchRequest(addr=target << 6))
+        return requests
+
+    def _close_epoch(self) -> None:
+        # A stride qualifies when it matched most of the epoch's
+        # accesses; among qualifiers (a stride-k stream also scores at
+        # 2k, 3k, ...) the smallest magnitude is the base stride.
+        threshold = MIN_SHARE * self._observed
+        candidates = [stride for stride, count in self._strides.items()
+                      if count >= threshold]
+        self._active_stride = min(candidates, key=abs) if candidates else 0
+        self._strides.clear()
+        self._observed = 0
+
+    @property
+    def active_stride(self) -> int:
+        """The currently elected aggregate stride (0 = off)."""
+        return self._active_stride

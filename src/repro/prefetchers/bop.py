@@ -1,0 +1,109 @@
+"""Best-Offset Prefetcher (BOP; Michaud, HPCA 2016).
+
+BOP learns the single best prefetch *offset* for the current program
+phase.  A recent-requests (RR) table remembers lines that were recently
+filled; during a learning round every candidate offset ``d`` is scored:
+on an access to line X, if X - d is in the RR table then prefetching
+with offset d *would have been timely*, so d's score increments.  A
+round ends when an offset reaches ``SCORE_MAX`` or after
+``ROUND_MAX`` updates; the winner becomes the active offset.  Offsets
+whose best score stays under ``BAD_SCORE`` turn prefetching off for the
+round.
+"""
+
+from __future__ import annotations
+
+from repro.params import LINES_PER_PAGE
+from repro.prefetchers.base import (
+    AccessContext,
+    AccessType,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+# Michaud's offset list: integers with no prime factor above 5.
+DEFAULT_OFFSETS = (
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32,
+)
+
+SCORE_MAX = 31
+ROUND_MAX = 100
+BAD_SCORE = 1
+
+
+class BopPrefetcher(Prefetcher):
+    """Best-offset prefetching with an RR-table learning loop."""
+
+    def __init__(
+        self,
+        offsets: tuple[int, ...] = DEFAULT_OFFSETS,
+        rr_entries: int = 64,
+        degree: int = 1,
+    ) -> None:
+        super().__init__(name="bop", storage_bits=rr_entries * 12 + 64 * 8)
+        self.offsets = tuple(offsets) + tuple(-o for o in offsets)
+        self.rr_entries = rr_entries
+        self.degree = degree
+        self._rr: dict[int, None] = {}  # insertion-ordered ring of lines
+        self._scores = {offset: 0 for offset in self.offsets}
+        self._round = 0
+        self._best_offset = 1
+        self._prefetch_on = True
+
+    def _rr_insert(self, line: int) -> None:
+        if line in self._rr:
+            return
+        if len(self._rr) >= self.rr_entries:
+            self._rr.pop(next(iter(self._rr)))
+        self._rr[line] = None
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        if ctx.kind == AccessType.PREFETCH:
+            return []
+        line = ctx.addr >> 6
+        self._learn(line)
+        if not self._prefetch_on:
+            return []
+        page = line // LINES_PER_PAGE
+        requests = []
+        for k in range(1, self.degree + 1):
+            target = line + self._best_offset * k
+            if target < 0 or target // LINES_PER_PAGE != page:
+                continue
+            requests.append(PrefetchRequest(addr=target << 6))
+        return requests
+
+    def _learn(self, line: int) -> None:
+        finished = False
+        for offset in self.offsets:
+            if line - offset in self._rr:
+                self._scores[offset] += 1
+                if self._scores[offset] >= SCORE_MAX:
+                    finished = True
+        self._round += 1
+        if finished or self._round >= ROUND_MAX:
+            self._close_round()
+        self._rr_insert(line)
+
+    def _close_round(self) -> None:
+        best = max(self.offsets, key=lambda o: self._scores[o])
+        best_score = self._scores[best]
+        self._prefetch_on = best_score > BAD_SCORE
+        if self._prefetch_on:
+            self._best_offset = best
+        self._scores = {offset: 0 for offset in self.offsets}
+        self._round = 0
+
+    def on_fill(self, addr, was_prefetch, metadata, evicted_addr) -> None:
+        # BOP inserts the *base* of completed prefetches into the RR
+        # table (addr - offset); demand fills insert themselves.
+        line = addr >> 6
+        if was_prefetch:
+            self._rr_insert(line - self._best_offset)
+        else:
+            self._rr_insert(line)
+
+    @property
+    def best_offset(self) -> int:
+        """Currently selected offset (exposed for tests/reports)."""
+        return self._best_offset

@@ -1,0 +1,102 @@
+"""Division-of-Labor (DOL) style component prefetcher (Kondguli & Huang,
+ISCA 2018) — comparison baseline.
+
+DOL couples narrow component prefetchers to core-side semantics (loop
+predictor, return address stack, register file).  A trace-driven
+memory-side simulator has no core internals, so — as the paper itself
+observes when contrasting DOL with IPCP — we model the two components
+that matter for spatial behaviour:
+
+* a stride component equivalent to a per-IP stride engine with *no
+  degree cap* (DOL lets components run unbounded, which is why it
+  demands a 32-entry L1 MSHR), approximated with a deep fixed degree;
+* a C1-like region-stream component that, once a region looks dense,
+  prefetches **all** remaining lines of the region with *no direction
+  tracking and no declassification* — the two deficiencies versus
+  IPCP's GS class called out in Section V-A.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.params import LINES_PER_PAGE, LINES_PER_REGION, REGION_BITS
+from repro.prefetchers.base import (
+    AccessContext,
+    AccessType,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+DENSE_THRESHOLD = LINES_PER_REGION // 2
+
+
+class DolPrefetcher(Prefetcher):
+    """Stride + always-on region components, DOL style."""
+
+    def __init__(self, entries: int = 256, stride_degree: int = 8) -> None:
+        super().__init__(name="dol", storage_bits=entries * 60)
+        self.stride_degree = stride_degree
+        self._mask = entries - 1
+        self._index_bits = entries.bit_length() - 1
+        # IP stride component: index -> [tag, last_line, stride, confidence]
+        self._table = [[-1, 0, 0, 0] for _ in range(entries)]
+        # C1: regions ever classified dense (never declassified).
+        self._dense_regions: set[int] = set()
+        self._region_counts: OrderedDict[int, int] = OrderedDict()
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        if ctx.kind == AccessType.PREFETCH:
+            return []
+        line = ctx.addr >> 6
+        requests = self._stride_component(ctx.ip, line)
+        requests.extend(self._region_component(ctx.addr, line))
+        return requests
+
+    def _stride_component(self, ip: int, line: int) -> list[PrefetchRequest]:
+        entry = self._table[ip & self._mask]
+        tag = ip >> self._index_bits
+        if entry[0] != tag:
+            entry[:] = [tag, line, 0, 0]
+            return []
+        stride = line - entry[1]
+        entry[1] = line
+        if stride == 0:
+            return []
+        if stride == entry[2]:
+            entry[3] = min(3, entry[3] + 1)
+        else:
+            entry[3] = max(0, entry[3] - 1)
+            if entry[3] == 0:
+                entry[2] = stride
+        if entry[3] < 2 or entry[2] == 0:
+            return []
+        page = line // LINES_PER_PAGE
+        requests = []
+        for k in range(1, self.stride_degree + 1):
+            target = line + entry[2] * k
+            if target < 0 or target // LINES_PER_PAGE != page:
+                continue
+            requests.append(PrefetchRequest(addr=target << 6))
+        return requests
+
+    def _region_component(self, addr: int, line: int) -> list[PrefetchRequest]:
+        region = addr >> REGION_BITS
+        if region in self._dense_regions:
+            return []
+        count = self._region_counts.get(region, 0) + 1
+        if region in self._region_counts:
+            self._region_counts.move_to_end(region)
+        elif len(self._region_counts) >= 64:
+            self._region_counts.popitem(last=False)
+        self._region_counts[region] = count
+        if count < DENSE_THRESHOLD:
+            return []
+        # Dense: blast every remaining line of the region, directionless.
+        self._dense_regions.add(region)
+        base_line = region * LINES_PER_REGION
+        return [
+            PrefetchRequest(addr=(base_line + offset) << 6)
+            for offset in range(LINES_PER_REGION)
+            if base_line + offset != line
+        ]

@@ -1,0 +1,66 @@
+"""Domino temporal prefetcher (Bakhshalipour et al., HPCA 2018) — lite.
+
+Domino predicts the next miss from the *global* miss history, keyed by
+the last one or two miss addresses: a pair key (a, b) is precise, the
+single key (b) is the fallback when the pair was never seen.  The real
+design stores its history off-chip; this lite version bounds both maps
+with LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.prefetchers.base import (
+    AccessContext,
+    AccessType,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+
+class DominoPrefetcher(Prefetcher):
+    """Global two-key temporal (miss-sequence) prefetcher."""
+
+    def __init__(self, entries: int = 32_768, degree: int = 3) -> None:
+        super().__init__(name="domino", storage_bits=entries * 96)
+        self.entries = entries
+        self.degree = degree
+        self._by_pair: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self._by_single: OrderedDict[int, int] = OrderedDict()
+        self._history: tuple[int, int] = (0, 0)
+
+    @staticmethod
+    def _store(table: OrderedDict, key, value, limit: int) -> None:
+        if key in table:
+            table.move_to_end(key)
+        elif len(table) >= limit:
+            table.popitem(last=False)
+        table[key] = value
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        if ctx.kind == AccessType.PREFETCH or ctx.cache_hit:
+            return []  # Domino trains on the miss stream
+        line = ctx.addr >> 6
+        a, b = self._history
+        if b and b != line:
+            self._store(self._by_single, b, line, self.entries)
+            if a:
+                self._store(self._by_pair, (a, b), line, self.entries)
+        self._history = (b, line)
+
+        requests = []
+        pair = (b, line)
+        current = line
+        seen = {line}
+        for _ in range(self.degree):
+            successor = self._by_pair.get(pair)
+            if successor is None:
+                successor = self._by_single.get(current)
+            if successor is None or successor in seen:
+                break
+            requests.append(PrefetchRequest(addr=successor << 6))
+            seen.add(successor)
+            pair = (current, successor)
+            current = successor
+        return requests

@@ -1,0 +1,120 @@
+"""Dual Spatial Pattern prefetcher (DSPatch; Bera et al., MICRO 2019).
+
+DSPatch records, per program context (trigger IP), *two* spatial
+bit-patterns over the 4 KB page: one OR-accumulated (coverage-biased,
+CovP) and one AND-accumulated (accuracy-biased, AccP).  On a page's
+first access the stored pattern for the trigger context is replayed —
+CovP when memory bandwidth is plentiful, AccP when it is scarce.  We
+proxy the bandwidth signal with the prefetcher's own recent accuracy
+(high accuracy -> afford coverage bias), which preserves the adaptive
+behaviour without a backchannel from the DRAM model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.params import LINES_PER_PAGE
+from repro.prefetchers.base import (
+    AccessContext,
+    AccessType,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+ACCURACY_SWITCH = 0.5
+EPOCH = 128
+
+_PAGE_MASK = (1 << LINES_PER_PAGE) - 1
+
+
+def _rotate_right(pattern: int, amount: int) -> int:
+    """Rotate a page bit-pattern so the trigger offset becomes bit 0."""
+    amount %= LINES_PER_PAGE
+    return ((pattern >> amount) | (pattern << (LINES_PER_PAGE - amount))) & _PAGE_MASK
+
+
+def _rotate_left(pattern: int, amount: int) -> int:
+    """Re-anchor a trigger-relative pattern at a new trigger offset."""
+    amount %= LINES_PER_PAGE
+    return ((pattern << amount) | (pattern >> (LINES_PER_PAGE - amount))) & _PAGE_MASK
+
+
+class DspatchPrefetcher(Prefetcher):
+    """Dual (coverage/accuracy) spatial bit-pattern prefetcher."""
+
+    def __init__(self, spt_entries: int = 256, page_buffers: int = 8) -> None:
+        super().__init__(name="dspatch",
+                         storage_bits=spt_entries * (2 * LINES_PER_PAGE + 12))
+        self.spt_entries = spt_entries
+        self.page_buffers = page_buffers
+        # Signature pattern table: ip_hash -> [cov_pattern, acc_pattern]
+        self._spt: OrderedDict[int, list[int]] = OrderedDict()
+        # Active pages: page -> [trigger_sig, trigger_offset, observed_bits]
+        self._active: OrderedDict[int, list] = OrderedDict()
+        self._epoch_fills = 0
+        self._epoch_hits = 0
+        self._accuracy = 1.0
+
+    @staticmethod
+    def _signature(ip: int) -> int:
+        return (ip ^ (ip >> 9) ^ (ip >> 18)) & 0xFFF
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        if ctx.kind == AccessType.PREFETCH:
+            return []
+        line = ctx.addr >> 6
+        page = line // LINES_PER_PAGE
+        offset = line % LINES_PER_PAGE
+        signature = self._signature(ctx.ip)
+
+        state = self._active.get(page)
+        if state is not None:
+            state[2] |= 1 << offset
+            self._active.move_to_end(page)
+            return []
+
+        # New page: close the oldest page's generation, open this one,
+        # and replay the stored pattern for this trigger context.
+        if len(self._active) >= self.page_buffers:
+            _, (old_sig, old_trigger, observed) = self._active.popitem(last=False)
+            self._learn(old_sig, _rotate_right(observed, old_trigger))
+        self._active[page] = [signature, offset, 1 << offset]
+        return self._replay(page, offset, signature)
+
+    def _learn(self, signature: int, observed: int) -> None:
+        patterns = self._spt.get(signature)
+        if patterns is None:
+            if len(self._spt) >= self.spt_entries:
+                self._spt.popitem(last=False)
+            self._spt[signature] = [observed, observed]
+            return
+        self._spt.move_to_end(signature)
+        patterns[0] |= observed  # coverage-biased: union
+        patterns[1] &= observed  # accuracy-biased: intersection
+
+    def _replay(
+        self, page: int, trigger_offset: int, signature: int
+    ) -> list[PrefetchRequest]:
+        patterns = self._spt.get(signature)
+        if patterns is None:
+            return []
+        anchored = patterns[0] if self._accuracy >= ACCURACY_SWITCH else patterns[1]
+        pattern = _rotate_left(anchored, trigger_offset)
+        base_line = page * LINES_PER_PAGE
+        requests = []
+        for offset in range(LINES_PER_PAGE):
+            if offset == trigger_offset or not pattern & (1 << offset):
+                continue
+            requests.append(PrefetchRequest(addr=(base_line + offset) << 6))
+        return requests
+
+    def on_prefetch_fill(self, addr: int, pf_class: int) -> None:
+        self._epoch_fills += 1
+        if self._epoch_fills >= EPOCH:
+            self._accuracy = self._epoch_hits / self._epoch_fills
+            self._epoch_fills = 0
+            self._epoch_hits = 0
+
+    def on_prefetch_hit(self, addr: int, pf_class: int) -> None:
+        self._epoch_hits += 1

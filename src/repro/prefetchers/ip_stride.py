@@ -1,0 +1,75 @@
+"""Classic IP-stride prefetcher (Fu & Patel, MICRO 1992).
+
+The incumbent L1-D prefetcher the paper sets out to replace.  A
+64-entry table maps an IP to its last address, last observed stride and
+a 2-bit confidence counter; once the same stride is seen twice the
+prefetcher issues ``degree`` strided lines ahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.params import LINES_PER_PAGE
+from repro.prefetchers.base import (
+    AccessContext,
+    AccessType,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+
+@dataclass
+class _StrideEntry:
+    tag: int = -1
+    last_line: int = 0
+    stride: int = 0
+    confidence: int = 0
+
+
+class IpStridePrefetcher(Prefetcher):
+    """64-entry direct-mapped per-IP constant-stride prefetcher."""
+
+    def __init__(self, entries: int = 64, degree: int = 3) -> None:
+        if degree < 1 or entries < 1:
+            raise ConfigurationError("ip_stride needs entries>=1, degree>=1")
+        super().__init__(name="ip_stride", storage_bits=entries * 47)
+        self.degree = degree
+        self._mask = entries - 1
+        self._index_bits = entries.bit_length() - 1
+        self._table = [_StrideEntry() for _ in range(entries)]
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        if ctx.kind == AccessType.PREFETCH:
+            return []
+        line = ctx.addr >> 6
+        index = ctx.ip & self._mask
+        tag = ctx.ip >> self._index_bits
+        entry = self._table[index]
+
+        if entry.tag != tag:
+            self._table[index] = _StrideEntry(tag=tag, last_line=line)
+            return []
+
+        stride = line - entry.last_line
+        if stride == 0:
+            return []
+        if stride == entry.stride:
+            entry.confidence = min(3, entry.confidence + 1)
+        else:
+            entry.confidence = max(0, entry.confidence - 1)
+            if entry.confidence == 0:
+                entry.stride = stride
+        entry.last_line = line
+
+        if entry.confidence < 2 or entry.stride == 0:
+            return []
+        page = line // LINES_PER_PAGE
+        requests = []
+        for k in range(1, self.degree + 1):
+            target = line + entry.stride * k
+            if target < 0 or target // LINES_PER_PAGE != page:
+                continue
+            requests.append(PrefetchRequest(addr=target << 6))
+        return requests

@@ -1,0 +1,83 @@
+"""Irregular Stream Buffer (ISB; Jain & Lin, MICRO 2013) — lite.
+
+ISB linearises irregular accesses by giving each *PC-localised* stream
+its own structural address space: consecutive accesses from the same IP
+are neighbours structurally even when their physical addresses are
+random, so a simple next-structural-line prefetch covers temporally
+correlated pointer chains.
+
+This lite version keeps the two essential structures:
+
+* a per-IP training unit remembering the stream's last line;
+* a correlation table mapping a line to the line that followed it in
+  its stream (the structural successor), chained ``degree`` deep at
+  prediction time.
+
+The real ISB spills metadata off-chip (hundreds of KBs); we bound the
+correlation table with LRU eviction instead and account the paper-scale
+storage in ``storage_bits``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.prefetchers.base import (
+    AccessContext,
+    AccessType,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+
+class IsbPrefetcher(Prefetcher):
+    """PC-localised temporal stream prefetcher."""
+
+    def __init__(
+        self,
+        correlation_entries: int = 32_768,
+        training_units: int = 64,
+        degree: int = 3,
+    ) -> None:
+        super().__init__(name="isb",
+                         storage_bits=correlation_entries * 64)
+        self.correlation_entries = correlation_entries
+        self.training_units = training_units
+        self.degree = degree
+        # line -> successor line, per-stream order (LRU-bounded).
+        self._successor: OrderedDict[int, int] = OrderedDict()
+        # ip -> last line of that IP's stream.
+        self._training: OrderedDict[int, int] = OrderedDict()
+
+    def _remember(self, line: int, successor: int) -> None:
+        if line in self._successor:
+            self._successor.move_to_end(line)
+        elif len(self._successor) >= self.correlation_entries:
+            self._successor.popitem(last=False)
+        self._successor[line] = successor
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        if ctx.kind == AccessType.PREFETCH:
+            return []
+        line = ctx.addr >> 6
+
+        last = self._training.get(ctx.ip)
+        if last is not None and last != line:
+            self._remember(last, line)
+            self._training.move_to_end(ctx.ip)
+        elif last is None and len(self._training) >= self.training_units:
+            self._training.popitem(last=False)
+        self._training[ctx.ip] = line
+
+        # Predict by chaining structural successors.
+        requests = []
+        current = line
+        seen = {line}
+        for _ in range(self.degree):
+            successor = self._successor.get(current)
+            if successor is None or successor in seen:
+                break
+            requests.append(PrefetchRequest(addr=successor << 6))
+            seen.add(successor)
+            current = successor
+        return requests

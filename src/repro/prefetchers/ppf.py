@@ -1,0 +1,98 @@
+"""Perceptron Prefetch Filter (PPF; Bhatia et al., ISCA 2019).
+
+PPF sits between an underlying prefetcher (SPP in the paper) and the
+cache: each proposed prefetch is scored by a perceptron over simple
+features (IP hash, page offset, delta); proposals below the rejection
+threshold are dropped.  Weights train online from the fate of accepted
+prefetches — +1 when the block is demanded, -1 when it ages out
+unused — which is exactly the feedback our cache delivers through
+``on_prefetch_hit`` and the fill ring.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.prefetchers.base import (
+    AccessContext,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+WEIGHT_MAX = 15
+ACCEPT_THRESHOLD = -2
+RING_SIZE = 512
+
+
+class PerceptronFilter(Prefetcher):
+    """Wrap ``inner`` and veto its low-quality proposals."""
+
+    def __init__(self, inner: Prefetcher, table_size: int = 1024) -> None:
+        super().__init__(
+            name=f"{inner.name}+ppf",
+            storage_bits=inner.storage_bits + 3 * table_size * 5,
+        )
+        self.inner = inner
+        self.table_size = table_size
+        self._weights = [
+            [0] * table_size,  # feature: IP hash
+            [0] * table_size,  # feature: line offset within page
+            [0] * table_size,  # feature: delta from trigger
+        ]
+        # line -> feature indices of accepted-but-unproven prefetches
+        self._pending: OrderedDict[int, tuple[int, int, int]] = OrderedDict()
+
+    def _features(self, ip: int, trigger_line: int, target_line: int
+                  ) -> tuple[int, int, int]:
+        mask = self.table_size - 1
+        return (
+            (ip ^ (ip >> 10)) & mask,
+            target_line & 0x3F,
+            (target_line - trigger_line) & mask,
+        )
+
+    def _score(self, features: tuple[int, int, int]) -> int:
+        return sum(self._weights[i][f] for i, f in enumerate(features))
+
+    def _train(self, features: tuple[int, int, int], useful: bool) -> None:
+        step = 1 if useful else -1
+        for i, f in enumerate(features):
+            weight = self._weights[i][f] + step
+            self._weights[i][f] = max(-WEIGHT_MAX, min(WEIGHT_MAX, weight))
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        proposals = self.inner.on_access(ctx)
+        if not proposals:
+            return []
+        trigger_line = ctx.addr >> 6
+        accepted = []
+        for request in proposals:
+            target_line = request.addr >> 6
+            features = self._features(ctx.ip, trigger_line, target_line)
+            if self._score(features) < ACCEPT_THRESHOLD:
+                self.bump("rejected")
+                continue
+            self._remember(target_line, features)
+            accepted.append(request)
+        return accepted
+
+    def _remember(self, line: int, features: tuple[int, int, int]) -> None:
+        if line in self._pending:
+            return
+        if len(self._pending) >= RING_SIZE:
+            _, old_features = self._pending.popitem(last=False)
+            self._train(old_features, useful=False)  # aged out unused
+        self._pending[line] = features
+
+    def on_prefetch_hit(self, addr: int, pf_class: int) -> None:
+        line = addr >> 6
+        features = self._pending.pop(line, None)
+        if features is not None:
+            self._train(features, useful=True)
+        self.inner.on_prefetch_hit(addr, pf_class)
+
+    def on_prefetch_fill(self, addr: int, pf_class: int) -> None:
+        self.inner.on_prefetch_fill(addr, pf_class)
+
+    def on_fill(self, addr, was_prefetch, metadata, evicted_addr) -> None:
+        self.inner.on_fill(addr, was_prefetch, metadata, evicted_addr)

@@ -1,0 +1,60 @@
+"""Name -> factory registry for prefetchers and Table III combinations.
+
+Benchmarks and examples refer to prefetchers by the names the paper
+uses.  A registered factory returns a *configuration*: a dict with
+optional ``l1``, ``l2`` and ``llc`` callables, each producing a fresh
+prefetcher instance (fresh instances matter for multicore runs, where
+every core needs private state).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.prefetchers.base import Prefetcher
+
+PrefetcherFactory = Callable[[], Prefetcher]
+LevelConfig = dict[str, PrefetcherFactory]
+
+_REGISTRY: dict[str, Callable[[], LevelConfig]] = {}
+
+
+def register_prefetcher(name: str):
+    """Decorator registering a configuration factory under ``name``."""
+
+    def decorator(factory: Callable[[], LevelConfig]):
+        key = name.lower()
+        if key in _REGISTRY:
+            raise ConfigurationError(f"prefetcher {name!r} already registered")
+        _REGISTRY[key] = factory
+        return factory
+
+    return decorator
+
+
+def _load_builtin_configs() -> None:
+    """Import the module that registers the built-in configurations.
+
+    Deferred to first use: ``composite`` imports IPCP, which imports
+    this package, so importing it at package-init time would cycle.
+    """
+    import repro.prefetchers.composite  # noqa: F401 (side-effect import)
+
+
+def make_prefetcher(name: str) -> LevelConfig:
+    """Build the level->factory configuration registered under ``name``."""
+    _load_builtin_configs()
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown prefetcher {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_prefetchers() -> list[str]:
+    """Sorted names of every registered configuration."""
+    _load_builtin_configs()
+    return sorted(_REGISTRY)

@@ -1,0 +1,96 @@
+"""Sandbox prefetcher (Pugsley et al., HPCA 2014).
+
+Candidate offsets are evaluated *safely* inside a sandbox: instead of
+issuing real prefetches, the candidate's would-be prefetch addresses go
+into a Bloom-filter sandbox; later demand accesses that hit the sandbox
+score the candidate.  Candidates whose score clears a threshold are
+promoted to real prefetching, with deeper degrees at higher scores.
+"""
+
+from __future__ import annotations
+
+from repro.params import LINES_PER_PAGE
+from repro.prefetchers.base import (
+    AccessContext,
+    AccessType,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+CANDIDATES = (1, -1, 2, -2, 3, -3, 4, -4, 6, -6, 8, -8)
+EVALUATION_PERIOD = 256
+PROMOTE_THRESHOLD = 0.25
+
+
+class _BloomFilter:
+    """Tiny double-hash Bloom filter over line addresses."""
+
+    def __init__(self, bits: int = 2048) -> None:
+        self._bits = bits
+        self._array = 0
+
+    def add(self, line: int) -> None:
+        self._array |= 1 << (line % self._bits)
+        self._array |= 1 << ((line * 0x9E3779B1) % self._bits)
+
+    def contains(self, line: int) -> bool:
+        mask_a = 1 << (line % self._bits)
+        mask_b = 1 << ((line * 0x9E3779B1) % self._bits)
+        return bool(self._array & mask_a) and bool(self._array & mask_b)
+
+    def clear(self) -> None:
+        self._array = 0
+
+
+class SandboxPrefetcher(Prefetcher):
+    """Offset prefetcher with Bloom-filter sandbox evaluation."""
+
+    def __init__(self, max_degree: int = 4) -> None:
+        super().__init__(name="sandbox", storage_bits=2048 + len(CANDIDATES) * 16)
+        self.max_degree = max_degree
+        self._sandbox = _BloomFilter()
+        self._candidate_index = 0
+        self._accesses = 0
+        self._score = 0
+        self._active: list[tuple[int, int]] = []  # (offset, degree)
+
+    @property
+    def candidate(self) -> int:
+        """Offset currently under sandbox evaluation."""
+        return CANDIDATES[self._candidate_index]
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        if ctx.kind == AccessType.PREFETCH:
+            return []
+        line = ctx.addr >> 6
+        self._evaluate(line)
+        page = line // LINES_PER_PAGE
+        requests = []
+        for offset, degree in self._active:
+            for k in range(1, degree + 1):
+                target = line + offset * k
+                if target < 0 or target // LINES_PER_PAGE != page:
+                    continue
+                requests.append(PrefetchRequest(addr=target << 6))
+        return requests
+
+    def _evaluate(self, line: int) -> None:
+        if self._sandbox.contains(line):
+            self._score += 1
+        self._sandbox.add(line + self.candidate)
+        self._accesses += 1
+        if self._accesses >= EVALUATION_PERIOD:
+            self._close_period()
+
+    def _close_period(self) -> None:
+        accuracy = self._score / self._accesses
+        offset = self.candidate
+        self._active = [pair for pair in self._active if pair[0] != offset]
+        if accuracy >= PROMOTE_THRESHOLD:
+            degree = min(self.max_degree, 1 + int(accuracy * self.max_degree))
+            self._active.append((offset, degree))
+            self._active = self._active[-2:]  # keep at most two live offsets
+        self._sandbox.clear()
+        self._score = 0
+        self._accesses = 0
+        self._candidate_index = (self._candidate_index + 1) % len(CANDIDATES)

@@ -1,0 +1,91 @@
+"""Spatial Memory Streaming (SMS; Somogyi et al., ISCA 2006).
+
+SMS predicts which lines of a spatial region a program will touch from
+the (IP, trigger-offset) of the region's first access.  An *active
+generation table* (AGT) accumulates the footprint bit-vector of each
+live region; when a region's generation ends (AGT eviction), the
+footprint is stored in the *pattern history table* (PHT) under the
+trigger key.  A later region whose first access matches the key has its
+whole predicted footprint prefetched at once.  The paper's criticism —
+SMS works at the L1 but costs ~100 KB — is reflected in the
+``storage_bits`` accounting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.params import LINES_PER_REGION, REGION_BITS
+from repro.prefetchers.base import (
+    AccessContext,
+    AccessType,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+
+class SmsPrefetcher(Prefetcher):
+    """Footprint-replay spatial prefetcher keyed by (IP, region offset)."""
+
+    def __init__(
+        self,
+        pht_entries: int = 2048,
+        agt_entries: int = 16,
+        key_kind: str = "ip_offset",
+    ) -> None:
+        storage = pht_entries * (LINES_PER_REGION + 26) + agt_entries * 64
+        super().__init__(name="sms", storage_bits=storage)
+        self.pht_entries = pht_entries
+        self.agt_entries = agt_entries
+        self.key_kind = key_kind
+        # AGT: region -> [trigger_key, footprint]
+        self._agt: OrderedDict[int, list] = OrderedDict()
+        # PHT: trigger_key -> footprint bit-vector
+        self._pht: OrderedDict[int, int] = OrderedDict()
+
+    def _key(self, ip: int, offset: int) -> int:
+        if self.key_kind == "ip":
+            return ip & 0x3FFFFFF
+        return ((ip & 0xFFFFF) << 5) | offset
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        if ctx.kind == AccessType.PREFETCH:
+            return []
+        line = ctx.addr >> 6
+        region = ctx.addr >> REGION_BITS
+        offset = line % LINES_PER_REGION
+
+        state = self._agt.get(region)
+        if state is not None:
+            state[1] |= 1 << offset
+            self._agt.move_to_end(region)
+            return []
+
+        if len(self._agt) >= self.agt_entries:
+            _, (old_key, footprint) = self._agt.popitem(last=False)
+            self._pht_store(old_key, footprint)
+
+        key = self._key(ctx.ip, offset)
+        self._agt[region] = [key, 1 << offset]
+        return self._replay(region, offset, key)
+
+    def _pht_store(self, key: int, footprint: int) -> None:
+        if key in self._pht:
+            self._pht.move_to_end(key)
+        elif len(self._pht) >= self.pht_entries:
+            self._pht.popitem(last=False)
+        self._pht[key] = footprint
+
+    def _replay(self, region: int, trigger_offset: int, key: int
+                ) -> list[PrefetchRequest]:
+        footprint = self._pht.get(key)
+        if footprint is None:
+            return []
+        self._pht.move_to_end(key)
+        base_line = region * LINES_PER_REGION
+        requests = []
+        for offset in range(LINES_PER_REGION):
+            if offset == trigger_offset or not footprint & (1 << offset):
+                continue
+            requests.append(PrefetchRequest(addr=(base_line + offset) << 6))
+        return requests

@@ -1,0 +1,84 @@
+"""POWER4-style stream prefetcher (Tendler et al., 2002).
+
+Detects sequential up/down streams from the *miss* stream: a miss to
+line L allocates a tentative stream; a subsequent miss to L+1 (or L-1)
+confirms it, after which the stream runs ahead of the demand pointer by
+``distance`` lines, prefetching ``degree`` lines per confirming access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.params import LINES_PER_PAGE
+from repro.prefetchers.base import (
+    AccessContext,
+    AccessType,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+
+@dataclass
+class _Stream:
+    last_line: int
+    direction: int = 0  # 0 = unconfirmed
+    confirmed: bool = False
+    lru: int = 0
+
+
+class StreamPrefetcher(Prefetcher):
+    """Classic multi-stream sequential prefetcher."""
+
+    def __init__(
+        self, streams: int = 16, degree: int = 2, distance: int = 4
+    ) -> None:
+        if streams < 1 or degree < 1 or distance < 0:
+            raise ConfigurationError("stream prefetcher parameters must be positive")
+        super().__init__(name="stream", storage_bits=streams * 64)
+        self.max_streams = streams
+        self.degree = degree
+        self.distance = distance
+        self._streams: list[_Stream] = []
+        self._clock = 0
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        if ctx.kind == AccessType.PREFETCH:
+            return []
+        line = ctx.addr >> 6
+        self._clock += 1
+
+        for stream in self._streams:
+            delta = line - stream.last_line
+            if delta == 0:
+                stream.lru = self._clock
+                return []
+            if abs(delta) <= 2 and (
+                not stream.confirmed or delta * stream.direction > 0
+            ):
+                if not stream.confirmed:
+                    stream.direction = 1 if delta > 0 else -1
+                    stream.confirmed = True
+                stream.last_line = line
+                stream.lru = self._clock
+                return self._advance(line, stream.direction)
+
+        self._allocate(line)
+        return []
+
+    def _advance(self, line: int, direction: int) -> list[PrefetchRequest]:
+        page = line // LINES_PER_PAGE
+        requests = []
+        for k in range(1, self.degree + 1):
+            target = line + direction * (self.distance + k)
+            if target < 0 or target // LINES_PER_PAGE != page:
+                continue
+            requests.append(PrefetchRequest(addr=target << 6))
+        return requests
+
+    def _allocate(self, line: int) -> None:
+        if len(self._streams) >= self.max_streams:
+            victim = min(self._streams, key=lambda s: s.lru)
+            self._streams.remove(victim)
+        self._streams.append(_Stream(last_line=line, lru=self._clock))

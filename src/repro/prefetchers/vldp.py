@@ -1,0 +1,104 @@
+"""Variable Length Delta Prefetcher (VLDP; Shevgoor et al., MICRO 2015).
+
+VLDP predicts the next delta within a page from the *history of
+previous deltas*.  A delta history buffer (DHB) keeps, per recent page,
+the last address and the last few deltas; a cascade of delta prediction
+tables (DPT-1/2/3) maps delta histories of length 1, 2 and 3 to the
+next delta, with longer histories taking precedence.  Prediction is
+chained up to ``degree`` steps.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.params import LINES_PER_PAGE
+from repro.prefetchers.base import (
+    AccessContext,
+    AccessType,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+
+class VldpPrefetcher(Prefetcher):
+    """Three-level delta-history prefetcher."""
+
+    def __init__(
+        self, dhb_entries: int = 16, dpt_entries: int = 64, degree: int = 4
+    ) -> None:
+        super().__init__(name="vldp", storage_bits=dhb_entries * 80
+                         + 3 * dpt_entries * 24)
+        self.dhb_entries = dhb_entries
+        self.dpt_entries = dpt_entries
+        self.degree = degree
+        # page -> (last_line_offset, [deltas newest-last])
+        self._dhb: OrderedDict[int, tuple[int, list[int]]] = OrderedDict()
+        # One table per history length: tuple(deltas) -> predicted delta
+        self._dpt: list[OrderedDict[tuple, int]] = [
+            OrderedDict() for _ in range(3)
+        ]
+
+    def _dpt_update(self, history: tuple[int, ...], delta: int) -> None:
+        table = self._dpt[len(history) - 1]
+        if history in table:
+            table.move_to_end(history)
+        elif len(table) >= self.dpt_entries:
+            table.popitem(last=False)
+        table[history] = delta
+
+    def _dpt_predict(self, history: list[int]) -> int | None:
+        for length in (3, 2, 1):
+            if len(history) < length:
+                continue
+            key = tuple(history[-length:])
+            table = self._dpt[length - 1]
+            if key in table:
+                return table[key]
+        return None
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        if ctx.kind == AccessType.PREFETCH:
+            return []
+        line = ctx.addr >> 6
+        page = line // LINES_PER_PAGE
+        offset = line % LINES_PER_PAGE
+
+        state = self._dhb.get(page)
+        if state is None:
+            if len(self._dhb) >= self.dhb_entries:
+                self._dhb.popitem(last=False)
+            self._dhb[page] = (offset, [])
+            return []
+        self._dhb.move_to_end(page)
+
+        last_offset, deltas = state
+        delta = offset - last_offset
+        if delta == 0:
+            return []
+        for length in (1, 2, 3):
+            if len(deltas) >= length:
+                self._dpt_update(tuple(deltas[-length:]), delta)
+        deltas.append(delta)
+        del deltas[:-3]
+        self._dhb[page] = (offset, deltas)
+
+        return self._predict_chain(line, page, deltas)
+
+    def _predict_chain(
+        self, line: int, page: int, deltas: list[int]
+    ) -> list[PrefetchRequest]:
+        history = list(deltas)
+        target = line
+        requests = []
+        for _ in range(self.degree):
+            predicted = self._dpt_predict(history)
+            if predicted is None or predicted == 0:
+                break
+            target += predicted
+            if target < 0 or target // LINES_PER_PAGE != page:
+                break
+            requests.append(PrefetchRequest(addr=target << 6))
+            history.append(predicted)
+            del history[:-3]
+        return requests

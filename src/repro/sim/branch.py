@@ -1,0 +1,75 @@
+"""Branch prediction for the core model.
+
+ChampSim charges a pipeline flush on every branch misprediction, which
+bounds how far the core can run ahead of a mispredicted branch — and
+therefore how much MLP the ROB can actually expose on branchy code.
+We model a classic **gshare** predictor: a table of 2-bit saturating
+counters indexed by (branch IP XOR global history).
+
+Trace encoding: BRANCH records carry their outcome in the ``addr``
+field (1 = taken, 0 = not taken), since branches touch no memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class BranchStats:
+    """Prediction counters, resettable at the end of warm-up."""
+
+    branches: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of branches predicted correctly."""
+        if not self.branches:
+            return 1.0
+        return 1.0 - self.mispredictions / self.branches
+
+
+class GsharePredictor:
+    """Gshare: 2-bit counters indexed by IP XOR global history."""
+
+    def __init__(self, history_bits: int = 12,
+                 misprediction_penalty: int = 15) -> None:
+        if history_bits < 1 or history_bits > 24:
+            raise ConfigurationError("history_bits must be in 1..24")
+        if misprediction_penalty < 0:
+            raise ConfigurationError("penalty must be non-negative")
+        self.history_bits = history_bits
+        self.misprediction_penalty = misprediction_penalty
+        self._mask = (1 << history_bits) - 1
+        self._history = 0
+        self._counters = [2] * (1 << history_bits)  # weakly taken
+        self.stats = BranchStats()
+
+    def _index(self, ip: int) -> int:
+        return (ip ^ self._history) & self._mask
+
+    def predict(self, ip: int) -> bool:
+        """Predicted direction for the branch at ``ip``."""
+        return self._counters[self._index(ip)] >= 2
+
+    def update(self, ip: int, taken: bool) -> bool:
+        """Record the real outcome; returns True on a misprediction."""
+        index = self._index(ip)
+        prediction = self._counters[index] >= 2
+        if taken and self._counters[index] < 3:
+            self._counters[index] += 1
+        elif not taken and self._counters[index] > 0:
+            self._counters[index] -= 1
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+        self.stats.branches += 1
+        mispredicted = prediction != taken
+        if mispredicted:
+            self.stats.mispredictions += 1
+        return mispredicted
+
+    def reset_stats(self) -> None:
+        """Zero the counters (predictor state persists)."""
+        self.stats = BranchStats()

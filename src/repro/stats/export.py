@@ -1,0 +1,39 @@
+"""CSV export for experiment tables.
+
+The benchmarks emit aligned ASCII for eyeballing; downstream plotting
+wants machine-readable rows.  :func:`write_csv` mirrors
+:func:`repro.stats.report.format_table`'s inputs so any emitted table
+can also be exported.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def write_csv(path: str, headers: Sequence[str],
+              rows: Sequence[Sequence]) -> None:
+    """Write a header + rows table as CSV (floats at full precision)."""
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def read_csv(path: str) -> tuple[list[str], list[list[str]]]:
+    """Read back a table written by :func:`write_csv`."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            headers = next(reader)
+        except StopIteration:
+            raise ConfigurationError(f"{path}: empty CSV") from None
+        return headers, [row for row in reader]

@@ -1,0 +1,91 @@
+"""Prefetching metrics, matching the paper's definitions.
+
+* **speedup** — IPC relative to the no-prefetching baseline (Fig. 7/8);
+  suite averages are geometric means of per-trace speedups.
+* **coverage** — fraction of baseline demand misses removed by
+  prefetching (Fig. 10, Table IV).
+* **accuracy** — fraction of filled prefetches that saw a demand hit
+  (Table IV).
+* **class contribution** — share of the covered misses attributable to
+  each IPCP class (Fig. 12).
+* **normalized weighted speedup** — multicore metric: the weighted
+  speedup of a prefetching configuration divided by the no-prefetching
+  configuration's (Section VI's formula).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.core.ipcp_l1 import PfClass
+from repro.errors import ConfigurationError
+from repro.sim.engine import SimResult
+from repro.sim.multicore import MixResult
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty or non-positive input."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(result: SimResult, baseline: SimResult) -> float:
+    """IPC speedup of ``result`` over ``baseline`` (same trace)."""
+    if result.trace_name != baseline.trace_name:
+        raise ConfigurationError(
+            f"speedup across different traces: {result.trace_name!r} "
+            f"vs {baseline.trace_name!r}"
+        )
+    return result.speedup_over(baseline)
+
+
+def coverage_by_level(result: SimResult) -> dict[str, float]:
+    """Prefetch coverage at each cache level (Fig. 10 / Table IV rows)."""
+    return {
+        "l1": result.l1.coverage,
+        "l2": result.l2.coverage,
+        "llc": result.llc.coverage,
+    }
+
+
+def class_contributions(result: SimResult) -> dict[str, float]:
+    """Share of covered L1 misses per IPCP class (Fig. 12).
+
+    Keys are class names (``cs``/``cplx``/``gs``/``nl``); values sum to
+    1.0 over the classes that covered anything (empty dict when the run
+    had no useful prefetches).
+    """
+    useful = result.l1.pf_useful_by_class
+    total = sum(useful.values())
+    if not total:
+        return {}
+    contributions = {}
+    for class_id, count in useful.items():
+        try:
+            name = PfClass(class_id).name.lower()
+        except ValueError:
+            name = f"class{class_id}"
+        contributions[name] = count / total
+    return contributions
+
+
+def normalized_weighted_speedup(
+    prefetching: MixResult, baseline: MixResult
+) -> float:
+    """Weighted speedup of a config normalised to no prefetching."""
+    base = baseline.weighted_speedup
+    if base == 0:
+        raise ConfigurationError("baseline weighted speedup is zero")
+    return prefetching.weighted_speedup / base
+
+
+def dram_traffic_overhead(result: SimResult, baseline: SimResult) -> float:
+    """Extra DRAM traffic caused by prefetching (the paper's 16.1%)."""
+    if baseline.dram_bytes == 0:
+        return 0.0
+    return result.dram_bytes / baseline.dram_bytes - 1.0

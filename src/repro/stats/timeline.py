@@ -1,0 +1,110 @@
+"""Windowed (phase) metrics over a simulation.
+
+Long programs move through phases — mcf alternates regular and
+irregular regions, which is exactly why the paper splits it into
+sim-point traces (1152B regular, 1536B irregular).  A
+:class:`TimelineRecorder` snapshots the hierarchy every N retired
+instructions and derives per-window IPC, demand MPKI, prefetch issue
+rate and coverage — the data needed to see an IPCP class switching on
+as a phase begins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memsys.hierarchy import Hierarchy
+from repro.sim.cpu import Cpu
+
+
+@dataclass(frozen=True)
+class Window:
+    """Metrics for one instruction window."""
+
+    start_instruction: int
+    instructions: int
+    cycles: int
+    l1_demand_misses: int
+    pf_issued: int
+    pf_useful: int
+
+    @property
+    def ipc(self) -> float:
+        """Window-local instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_mpki(self) -> float:
+        """Window-local L1 demand MPKI."""
+        if not self.instructions:
+            return 0.0
+        return self.l1_demand_misses * 1000.0 / self.instructions
+
+
+class TimelineRecorder:
+    """Snapshots a (cpu, hierarchy) pair into per-window metrics."""
+
+    def __init__(self, cpu: Cpu, hierarchy: Hierarchy,
+                 interval: int = 5_000) -> None:
+        if interval < 1:
+            raise ConfigurationError("snapshot interval must be >= 1")
+        self.cpu = cpu
+        self.hierarchy = hierarchy
+        self.interval = interval
+        self.windows: list[Window] = []
+        self._mark()
+
+    def _mark(self) -> None:
+        stats = self.hierarchy.l1d.stats
+        self._last = (
+            self.cpu.retired,
+            self.cpu.cycle,
+            stats.demand_misses,
+            stats.pf_issued,
+            stats.pf_useful,
+        )
+
+    def run(self, records) -> list[Window]:
+        """Run the trace, snapshotting every ``interval`` instructions."""
+        iterator = iter(records)
+        while True:
+            result = self.cpu.run(iterator, max_instructions=self.interval)
+            if result.instructions == 0:
+                break
+            self._snapshot()
+            if result.instructions < self.interval:
+                break
+        return self.windows
+
+    def _snapshot(self) -> None:
+        stats = self.hierarchy.l1d.stats
+        retired, cycle, misses, issued, useful = self._last
+        self.windows.append(Window(
+            start_instruction=retired,
+            instructions=self.cpu.retired - retired,
+            cycles=self.cpu.cycle - cycle,
+            l1_demand_misses=stats.demand_misses - misses,
+            pf_issued=stats.pf_issued - issued,
+            pf_useful=stats.pf_useful - useful,
+        ))
+        self._mark()
+
+
+def phase_shift_windows(windows: list[Window], factor: float = 2.0
+                        ) -> list[int]:
+    """Indexes where the window MPKI jumps by more than ``factor``x.
+
+    A cheap phase-change detector: window *i* is flagged when its MPKI
+    differs from window *i-1* by the given multiplicative factor (in
+    either direction).
+    """
+    if factor <= 1.0:
+        raise ConfigurationError("factor must exceed 1.0")
+    shifts = []
+    for i in range(1, len(windows)):
+        prev = max(windows[i - 1].l1_mpki, 1e-6)
+        cur = max(windows[i].l1_mpki, 1e-6)
+        if cur / prev >= factor or prev / cur >= factor:
+            shifts.append(i)
+    return shifts

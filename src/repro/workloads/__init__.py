@@ -1,0 +1,44 @@
+"""Synthetic workload generators.
+
+SPEC CPU 2017 sim-point traces are proprietary and 200 M instructions
+long; this package substitutes seeded generators that reproduce the
+*access-pattern taxonomy* the paper builds IPCP around — constant
+strides, complex strides, global streams, dense regions, pointer
+chasing, large code footprints — at a scale a pure-Python simulator can
+run.  See DESIGN.md §3 for the substitution rationale.
+"""
+
+from repro.workloads.cloudsuite import cloudsuite_suite
+from repro.workloads.mixes import heterogeneous_mixes, homogeneous_mix
+from repro.workloads.neural import neural_suite
+from repro.workloads.patterns import (
+    WorkloadBuilder,
+    complex_stride_pattern,
+    dense_region_burst,
+    pointer_chase,
+    stream_pattern,
+    strided_pattern,
+)
+from repro.workloads.spec import (
+    full_suite,
+    memory_intensive_suite,
+    spec_trace,
+    SPEC_BENCHMARKS,
+)
+
+__all__ = [
+    "SPEC_BENCHMARKS",
+    "WorkloadBuilder",
+    "cloudsuite_suite",
+    "complex_stride_pattern",
+    "dense_region_burst",
+    "full_suite",
+    "heterogeneous_mixes",
+    "homogeneous_mix",
+    "memory_intensive_suite",
+    "neural_suite",
+    "pointer_chase",
+    "spec_trace",
+    "stream_pattern",
+    "strided_pattern",
+]

@@ -1,0 +1,52 @@
+"""Multicore mix construction (Section VI-A, VI-D).
+
+The paper evaluates homogeneous mixes (every core runs the same
+memory-intensive trace) and heterogeneous mixes (random draws from the
+full suite, or from the memory-intensive subset).  Mixes are seeded so
+the same mix list regenerates identically across runs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import Trace
+from repro.workloads.spec import SPEC_BENCHMARKS, spec_trace
+
+
+def homogeneous_mix(name: str, cores: int, scale: float = 1.0,
+                    seed: int = 7) -> list[Trace]:
+    """``cores`` copies of one benchmark (distinct address spaces come
+    from the per-core virtual-memory seeds, not the trace)."""
+    if cores < 1:
+        raise ConfigurationError("cores must be >= 1")
+    return [spec_trace(name, scale, seed) for _ in range(cores)]
+
+
+def heterogeneous_mixes(
+    count: int,
+    cores: int,
+    memory_intensive_only: bool = False,
+    scale: float = 1.0,
+    seed: int = 97,
+) -> list[list[Trace]]:
+    """``count`` random mixes of ``cores`` benchmarks each.
+
+    With ``memory_intensive_only`` the draw pool matches the paper's
+    "500 mixes containing only the memory-intensive traces"; otherwise
+    the pool is the entire suite ("500 random mixes").
+    """
+    if count < 1 or cores < 1:
+        raise ConfigurationError("count and cores must be >= 1")
+    pool = [
+        name
+        for name, (_, intensive, _) in SPEC_BENCHMARKS.items()
+        if intensive or not memory_intensive_only
+    ]
+    rng = random.Random(seed)
+    mixes = []
+    for _ in range(count):
+        names = [rng.choice(pool) for _ in range(cores)]
+        mixes.append([spec_trace(name, scale, seed) for name in names])
+    return mixes

@@ -1,0 +1,222 @@
+"""Access-pattern building blocks for synthetic traces.
+
+Each function appends records for one pattern *episode* to a
+:class:`WorkloadBuilder`.  The patterns map one-to-one onto the classes
+the paper motivates in Section III:
+
+* :func:`stream_pattern` — unit-stride sweeps (lbm/gcc): GS territory;
+* :func:`strided_pattern` — constant line strides (bwaves): CS;
+* :func:`complex_stride_pattern` — repeating stride sequences such as
+  1,2,1,2 or 3,3,4 (mcf, layout-induced): CPLX;
+* :func:`dense_region_burst` — several IPs touching a 2 KB region in
+  jumbled order (the paper's IP_C/IP_D/IP_E example): GS;
+* :func:`pointer_chase` — dependent random accesses (mcf/omnetpp):
+  irregular, largely unprefetchable by spatial prefetchers;
+* :func:`hot_set` — cache-resident reuse (non-memory-intensive codes).
+
+All sizes are in 8-byte elements unless noted; every builder interleaves
+``alu_per_load`` non-memory instructions after each load (the first one
+consuming the load's value) so compute density and dependent-use
+behaviour resemble real code.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.params import LINE_SIZE, REGION_SIZE
+from repro.sim.trace import BRANCH, LOAD, OTHER, STORE, Trace
+
+ELEMENT = 8  # bytes per loaded element
+
+
+class WorkloadBuilder:
+    """Accumulates records; hands out stable synthetic IPs per role."""
+
+    def __init__(self, name: str, seed: int = 1, alu_per_load: int = 4) -> None:
+        if alu_per_load < 0:
+            raise ConfigurationError("alu_per_load must be >= 0")
+        self.name = name
+        self.rng = random.Random(seed)
+        self.alu_per_load = alu_per_load
+        self.records: list[tuple[int, int, int, int]] = []
+        self._next_ip = 0x400000
+        self._ips: dict[str, int] = {}
+
+    def ip(self, role: str) -> int:
+        """A stable fake instruction pointer for a named code location.
+
+        Spacing is irregular (3-9 bytes, like variable-length x86
+        instructions) so direct-mapped IP-table indexes spread over all
+        slots instead of aliasing on aligned low bits.
+        """
+        if role not in self._ips:
+            self._ips[role] = self._next_ip
+            self._next_ip += 3 + self.rng.randrange(7)
+        return self._ips[role]
+
+    def load(self, role: str, addr: int, dep: bool = False) -> None:
+        """One load plus its ALU consumer padding."""
+        self.records.append((LOAD, self.ip(role), addr, 1 if dep else 0))
+        for j in range(self.alu_per_load):
+            self.records.append(
+                (OTHER, self.ip(f"{role}.alu{j}"), 0, 1 if j == 0 else 0)
+            )
+
+    def store(self, role: str, addr: int) -> None:
+        """One store (never blocks retirement)."""
+        self.records.append((STORE, self.ip(role), addr, 0))
+
+    def branch(self, role: str, taken: bool = True) -> None:
+        """A branch record; the outcome rides in the addr field."""
+        self.records.append((BRANCH, self.ip(role), 1 if taken else 0, 0))
+
+    def alu(self, count: int = 1) -> None:
+        """Standalone non-memory instructions."""
+        for _ in range(count):
+            self.records.append((OTHER, self.ip("filler"), 0, 0))
+
+    def build(self) -> Trace:
+        """Freeze the accumulated records into a named trace."""
+        return Trace(self.records, name=self.name)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def stream_pattern(
+    builder: WorkloadBuilder,
+    role: str,
+    base: int,
+    elements: int,
+    direction: int = 1,
+    element_bytes: int = ELEMENT,
+) -> None:
+    """Sequential sweep: ``elements`` touches moving one element at a time."""
+    addr = base
+    for _ in range(elements):
+        builder.load(role, addr)
+        addr += direction * element_bytes
+    if addr < 0:
+        raise ConfigurationError("stream walked below address 0")
+
+
+def strided_pattern(
+    builder: WorkloadBuilder,
+    role: str,
+    base: int,
+    count: int,
+    stride_lines: int,
+    loads_per_stop: int = 6,
+) -> None:
+    """Constant cache-line stride (the CS class's bread and butter).
+
+    ``count`` is the number of line *stops*; at each stop the code reads
+    ``loads_per_stop`` consecutive elements of the line before jumping
+    ``stride_lines`` lines — the way a strided array-of-structs walk
+    touches several fields per record.  Only the stop-advancing load
+    carries the pattern IP, so the classifier sees a clean line stride.
+    """
+    addr = base
+    for _ in range(count):
+        builder.load(role, addr)
+        for k in range(1, loads_per_stop):
+            builder.load(f"{role}.field{k}", addr + k * ELEMENT)
+        addr += stride_lines * LINE_SIZE
+
+
+def complex_stride_pattern(
+    builder: WorkloadBuilder,
+    role: str,
+    base: int,
+    count: int,
+    stride_sequence: tuple[int, ...],
+    loads_per_stop: int = 6,
+) -> None:
+    """Repeating line-stride sequence, e.g. (1, 2) or (3, 3, 4)."""
+    if not stride_sequence:
+        raise ConfigurationError("stride_sequence must be non-empty")
+    addr = base
+    for i in range(count):
+        builder.load(role, addr)
+        for k in range(1, loads_per_stop):
+            builder.load(f"{role}.field{k}", addr + k * ELEMENT)
+        addr += stride_sequence[i % len(stride_sequence)] * LINE_SIZE
+
+
+def dense_region_burst(
+    builder: WorkloadBuilder,
+    roles: list[str],
+    base: int,
+    regions: int,
+    shuffle_window: int = 4,
+    loads_per_line: int = 6,
+) -> None:
+    """Near-contiguous sweep through 2 KB regions by several IPs.
+
+    Addresses advance line by line but are locally shuffled inside a
+    small window and attributed round-robin to ``roles``, reproducing
+    the paper's "global stream with jumbled program order" example.
+    No single IP sees a stable stride, yet each region goes dense —
+    only the GS class covers this.
+    """
+    lines = regions * (REGION_SIZE // LINE_SIZE)
+    order = list(range(lines))
+    for start in range(0, lines, shuffle_window):
+        window = order[start:start + shuffle_window]
+        builder.rng.shuffle(window)
+        order[start:start + shuffle_window] = window
+    for i, line_index in enumerate(order):
+        role = roles[i % len(roles)]
+        line_base = base + line_index * LINE_SIZE
+        builder.load(role, line_base)
+        for k in range(1, loads_per_line):
+            builder.load(f"{role}.elem{k}", line_base + k * ELEMENT)
+
+
+def pointer_chase(
+    builder: WorkloadBuilder,
+    role: str,
+    base: int,
+    pool_lines: int,
+    count: int,
+) -> None:
+    """Dependent loads over a shuffled ring of ``pool_lines`` lines.
+
+    Each load's address "comes from" the previous load (dep=1), so the
+    misses serialise — the mcf/omnetpp behaviour spatial prefetchers
+    cannot cover.
+    """
+    ring = list(range(pool_lines))
+    builder.rng.shuffle(ring)
+    position = 0
+    for _ in range(count):
+        builder.load(role, base + ring[position] * LINE_SIZE, dep=True)
+        position = (position + 1) % pool_lines
+
+
+def hot_set(
+    builder: WorkloadBuilder,
+    role: str,
+    base: int,
+    lines: int,
+    count: int,
+) -> None:
+    """Random reuse inside a small, cache-resident footprint."""
+    for _ in range(count):
+        offset = builder.rng.randrange(lines)
+        builder.load(role, base + offset * LINE_SIZE)
+
+
+def warm_footprint(
+    builder: WorkloadBuilder,
+    role: str,
+    base: int,
+    lines: int,
+) -> None:
+    """Touch every line of a footprint once (placed early, this pushes
+    the compulsory misses into the simulator's warm-up region so the
+    ROI measures steady-state reuse, like a long-running program)."""
+    for offset in range(lines):
+        builder.load(role, base + offset * LINE_SIZE)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsys.cache import Cache
+from repro.memsys.dram import Dram
+from repro.memsys.hierarchy import DramPort, build_hierarchy
+from repro.params import CacheParams, SystemParams
+from repro.sim.trace import LOAD, OTHER, Trace
+
+
+@pytest.fixture
+def tiny_cache_params() -> CacheParams:
+    """A small 4-set, 2-way cache for direct inspection."""
+    return CacheParams("T", 4 * 2 * 64, 2, 1, 4, 4)
+
+
+@pytest.fixture
+def dram() -> Dram:
+    return Dram()
+
+
+@pytest.fixture
+def tiny_cache(tiny_cache_params, dram) -> Cache:
+    return Cache(tiny_cache_params, DramPort(dram))
+
+
+@pytest.fixture
+def hierarchy():
+    return build_hierarchy(SystemParams())
+
+
+def make_stream_trace(
+    n_loads: int = 5_000,
+    alu_per_load: int = 4,
+    stride_bytes: int = 8,
+    base: int = 0x1000_0000,
+    ip: int = 0x400_101,
+    name: str = "stream",
+) -> Trace:
+    """A simple single-IP streaming trace used across tests."""
+    records = []
+    addr = base
+    for _ in range(n_loads):
+        records.append((LOAD, ip, addr, 0))
+        for j in range(alu_per_load):
+            records.append((OTHER, ip + 8 + j, 0, 1 if j == 0 else 0))
+        addr += stride_bytes
+    return Trace(records, name=name)
+
+
+@pytest.fixture
+def stream_trace() -> Trace:
+    return make_stream_trace()

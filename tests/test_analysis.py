@@ -1,0 +1,79 @@
+"""Tests for the experiment runner and sensitivity sweeps."""
+
+import pytest
+
+from repro.analysis import ExperimentRunner, run_levels, sweep_system
+from repro.analysis.sweep import sweep_dram_bandwidth
+from repro.workloads import spec_trace
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    return [spec_trace("bwaves_like", 0.1), spec_trace("gcc_like", 0.1)]
+
+
+class TestRunLevels:
+    def test_runs_registered_config(self, small_suite):
+        result = run_levels(small_suite[0], "ipcp")
+        assert result.ipc > 0
+        assert result.l1_prefetcher.name == "ipcp"
+
+    def test_none_config_has_no_prefetcher(self, small_suite):
+        result = run_levels(small_suite[0], "none")
+        assert result.l1_prefetcher is None
+        assert result.l1.pf_issued == 0
+
+
+class TestExperimentRunner:
+    def test_results_are_memoized(self, small_suite):
+        runner = ExperimentRunner(small_suite)
+        first = runner.result("bwaves_like", "none")
+        second = runner.result("bwaves_like", "none")
+        assert first is second
+
+    def test_speedups_per_trace(self, small_suite):
+        runner = ExperimentRunner(small_suite)
+        speedups = runner.speedups("ipcp")
+        assert set(speedups) == {"bwaves_like", "gcc_like"}
+        assert all(value > 0 for value in speedups.values())
+
+    def test_speedup_table_shape(self, small_suite):
+        runner = ExperimentRunner(small_suite)
+        rows = runner.speedup_table(["ipcp", "next_line"])
+        assert len(rows) == len(small_suite) + 1  # + geomean row
+        assert rows[-1][0] == "geomean"
+        assert len(rows[0]) == 3
+
+    def test_mean_speedup_positive(self, small_suite):
+        runner = ExperimentRunner(small_suite)
+        assert runner.mean_speedup("ipcp") > 0.9
+
+
+class TestSweeps:
+    def test_dram_bandwidth_sweep(self):
+        points = sweep_dram_bandwidth([3.2, 12.8, 25.0])
+        assert [p.dram.bandwidth_gbps for p in points] == [3.2, 12.8, 25.0]
+
+    def test_cache_size_override(self):
+        params = sweep_system(l1_size=32 * 1024)
+        assert params.l1d.size == 32 * 1024
+
+    def test_pq_mshr_override(self):
+        params = sweep_system(l1_pq=2, l1_mshr=4)
+        assert params.l1d.pq_entries == 2
+        assert params.l1d.mshr_entries == 4
+
+    def test_replacement_override_applies_to_llc(self):
+        params = sweep_system(replacement="srrip")
+        assert params.llc.replacement == "srrip"
+        assert params.l1d.replacement == "lru"
+
+    def test_default_sweep_matches_table2(self):
+        params = sweep_system()
+        assert params.l1d.size == 48 * 1024
+        assert params.llc.size == 2 * 1024 * 1024
+
+    def test_swept_system_simulates(self, small_suite):
+        params = sweep_system(dram_bandwidth_gbps=3.2)
+        result = run_levels(small_suite[0], "ipcp", params)
+        assert result.ipc > 0

@@ -1,0 +1,92 @@
+"""Tests for the gshare branch predictor and its core integration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsys.hierarchy import build_hierarchy
+from repro.params import SystemParams
+from repro.sim.branch import GsharePredictor
+from repro.sim.cpu import Cpu
+from repro.sim.trace import BRANCH, OTHER
+
+
+class TestGshare:
+    def test_learns_always_taken(self):
+        predictor = GsharePredictor()
+        for _ in range(64):
+            predictor.update(0x400, True)
+        assert predictor.predict(0x400)
+        assert predictor.stats.accuracy > 0.9
+
+    def test_learns_never_taken(self):
+        predictor = GsharePredictor()
+        for _ in range(64):
+            predictor.update(0x404, False)
+        assert not predictor.predict(0x404)
+
+    def test_learns_alternating_pattern_via_history(self):
+        predictor = GsharePredictor(history_bits=8)
+        mispredicts = 0
+        for i in range(512):
+            mispredicts += predictor.update(0x408, i % 2 == 0)
+        # With history, the alternation becomes predictable; late
+        # mispredictions should be rare.
+        late = GsharePredictor(history_bits=8)
+        for i in range(256):
+            late.update(0x408, i % 2 == 0)
+        late.reset_stats()
+        for i in range(256):
+            late.update(0x408, i % 2 == 0)
+        assert late.stats.accuracy > 0.9
+
+    def test_random_branches_mispredict_often(self):
+        import random
+        rng = random.Random(9)
+        predictor = GsharePredictor()
+        for _ in range(2_000):
+            predictor.update(0x40C, rng.random() < 0.5)
+        assert predictor.stats.accuracy < 0.7
+
+    def test_reset_stats_keeps_training(self):
+        predictor = GsharePredictor()
+        for _ in range(64):
+            predictor.update(0x400, True)
+        predictor.reset_stats()
+        assert predictor.stats.branches == 0
+        assert predictor.predict(0x400)
+
+    def test_rejects_bad_history_bits(self):
+        with pytest.raises(ConfigurationError):
+            GsharePredictor(history_bits=0)
+
+
+class TestCpuIntegration:
+    def make_cpu(self):
+        return Cpu(build_hierarchy(SystemParams()))
+
+    def test_predictable_branches_are_cheap(self):
+        cpu = self.make_cpu()
+        records = []
+        for _ in range(2_000):
+            records.append((BRANCH, 0x400, 1, 0))  # always taken
+            records.extend([(OTHER, 0x404, 0, 0)] * 3)
+        result = cpu.run(records)
+        assert result.ipc > 3.0
+
+    def test_random_branches_cost_flushes(self):
+        import random
+        rng = random.Random(3)
+        predictable = self.make_cpu().run(
+            [(BRANCH, 0x400, 1, 0)] * 4_000
+        )
+        random_records = [
+            (BRANCH, 0x400, 1 if rng.random() < 0.5 else 0, 0)
+            for _ in range(4_000)
+        ]
+        unpredictable = self.make_cpu().run(random_records)
+        assert unpredictable.ipc < predictable.ipc / 2
+
+    def test_branch_stats_available(self):
+        cpu = self.make_cpu()
+        cpu.run([(BRANCH, 0x400, 1, 0)] * 100)
+        assert cpu.branch_predictor.stats.branches == 100

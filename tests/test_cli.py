@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_trace, main
+from repro.errors import ReproError
+
+
+class TestBuildTrace:
+    def test_resolves_spec_workloads(self):
+        assert build_trace("lbm_like", 0.05).name == "lbm_like"
+
+    def test_resolves_cloudsuite_workloads(self):
+        assert build_trace("cassandra_like", 0.05).name == "cassandra_like"
+
+    def test_resolves_neural_workloads(self):
+        assert build_trace("lstm_like", 0.05).name == "lstm_like"
+
+    def test_resolves_extension_workloads(self):
+        trace = build_trace("temporal_loop_like", 0.05)
+        assert trace.name == "temporal_loop_like"
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ReproError):
+            build_trace("not_a_workload", 1.0)
+
+
+class TestCommands:
+    def test_list_prefetchers(self, capsys):
+        assert main(["list-prefetchers"]) == 0
+        out = capsys.readouterr().out
+        assert "ipcp" in out and "bingo" in out and "KB" in out
+
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "lbm_like" in out and "cloudsuite" in out
+
+    def test_run_prints_metrics(self, capsys):
+        code = main(["run", "--workload", "bwaves_like",
+                     "--prefetcher", "ipcp", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "L1 coverage" in out
+
+    def test_compare_prints_table(self, capsys):
+        code = main(["compare", "--workloads", "bwaves_like",
+                     "--prefetchers", "ipcp,next_line", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "geomean" in out
+
+    def test_analyze_prints_profile(self, capsys):
+        code = main(["analyze", "--workload", "wrf_like", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "complex_stride" in out
+
+    def test_mix_prints_weighted_speedup(self, capsys):
+        code = main(["mix", "--workload", "bwaves_like", "--cores", "2",
+                     "--prefetcher", "ipcp", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "weighted speedup" in out
+
+    def test_unknown_workload_exits_nonzero(self, capsys):
+        code = main(["run", "--workload", "bogus", "--scale", "0.1"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_prefetcher_exits_nonzero(self, capsys):
+        code = main(["run", "--workload", "bwaves_like",
+                     "--prefetcher", "bogus", "--scale", "0.1"])
+        assert code == 2
+
+
+class TestTraceFileCommands:
+    def test_dump_and_run_trace_roundtrip(self, tmp_path, capsys):
+        out = str(tmp_path / "w.trace")
+        assert main(["dump-trace", "--workload", "bwaves_like",
+                     "--out", out, "--scale", "0.05"]) == 0
+        capsys.readouterr()
+        assert main(["run-trace", "--trace-file", out,
+                     "--prefetcher", "ipcp"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_validate_clean_prefetcher(self, capsys):
+        code = main(["validate", "--prefetcher", "ipcp", "--scale", "0.1"])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_cross_page_flag(self, capsys):
+        code = main(["validate", "--prefetcher", "isb",
+                     "--allow-cross-page", "--scale", "0.1"])
+        assert code == 0

@@ -1,0 +1,59 @@
+"""Tests for JSON system-configuration round-tripping."""
+
+import pytest
+
+from repro.config_io import (
+    load_system,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.errors import ConfigurationError
+from repro.params import DramParams, SystemParams
+
+
+class TestRoundtrip:
+    def test_default_system_roundtrips(self, tmp_path):
+        path = str(tmp_path / "system.json")
+        save_system(SystemParams(), path)
+        loaded = load_system(path)
+        assert loaded == SystemParams()
+
+    def test_custom_values_survive(self, tmp_path):
+        params = SystemParams(
+            dram=DramParams(bandwidth_gbps=25.0), model_tlb=False
+        )
+        path = str(tmp_path / "system.json")
+        save_system(params, path)
+        loaded = load_system(path)
+        assert loaded.dram.bandwidth_gbps == 25.0
+        assert loaded.model_tlb is False
+
+    def test_dict_form_is_json_plain(self):
+        data = system_to_dict(SystemParams())
+        import json
+        json.dumps(data)  # no raise
+        assert data["l1d"]["size"] == 48 * 1024
+
+    def test_validation_applies_on_load(self):
+        data = system_to_dict(SystemParams())
+        data["l1d"]["latency"] = 0  # invalid
+        with pytest.raises(ConfigurationError):
+            system_from_dict(data)
+
+    def test_missing_section_rejected(self):
+        data = system_to_dict(SystemParams())
+        del data["l2"]
+        with pytest.raises(ConfigurationError):
+            system_from_dict(data)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_system(str(path))
+
+    def test_legacy_configs_default_tlb_on(self):
+        data = system_to_dict(SystemParams())
+        del data["model_tlb"]
+        assert system_from_dict(data).model_tlb is True

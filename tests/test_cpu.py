@@ -1,0 +1,98 @@
+"""Tests for the out-of-order core model."""
+
+from repro.memsys.hierarchy import build_hierarchy
+from repro.params import CoreParams, SystemParams
+from repro.sim.cpu import Cpu
+from repro.sim.trace import LOAD, OTHER, Trace
+
+
+def make_cpu(width=4, rob=256):
+    hierarchy = build_hierarchy(SystemParams())
+    return Cpu(hierarchy, CoreParams(width=width, rob_size=rob))
+
+
+class TestWidthLimit:
+    def test_alu_only_ipc_equals_width(self):
+        cpu = make_cpu(width=4)
+        records = [(OTHER, 0x400, 0, 0)] * 4_000
+        result = cpu.run(records)
+        assert 3.5 <= result.ipc <= 4.0
+
+    def test_narrow_core_is_slower(self):
+        wide = make_cpu(width=4).run([(OTHER, 0x400, 0, 0)] * 2_000)
+        narrow = make_cpu(width=1).run([(OTHER, 0x400, 0, 0)] * 2_000)
+        assert narrow.ipc < wide.ipc
+        assert narrow.ipc <= 1.0
+
+
+class TestMemoryBehaviour:
+    def test_independent_misses_overlap(self):
+        # 64 independent missing loads should cost far less than
+        # 64 serialised DRAM latencies.
+        cpu = make_cpu()
+        records = [(LOAD, 0x400, 0x100_0000 + i * 4096, 0) for i in range(64)]
+        result = cpu.run(records)
+        assert result.cycles < 64 * 150
+
+    def test_dependent_misses_serialise(self):
+        independent = make_cpu().run(
+            [(LOAD, 0x400, 0x100_0000 + i * 4096, 0) for i in range(64)]
+        )
+        dependent = make_cpu().run(
+            [(LOAD, 0x400, 0x100_0000 + i * 4096, 1) for i in range(64)]
+        )
+        assert dependent.cycles > 3 * independent.cycles
+
+    def test_l1_hits_are_fast(self):
+        cpu = make_cpu()
+        warm = [(LOAD, 0x400, 0x1000, 0)] * 2_000
+        result = cpu.run(warm)
+        assert result.ipc > 1.0
+
+    def test_rob_limits_runahead(self):
+        # With a tiny ROB, a single miss stalls dispatch quickly.
+        small = make_cpu(rob=8).run(
+            [(LOAD, 0x400, 0x100_0000 + i * 4096, 0) for i in range(64)]
+        )
+        big = make_cpu(rob=256).run(
+            [(LOAD, 0x400, 0x100_0000 + i * 4096, 0) for i in range(64)]
+        )
+        assert small.cycles > big.cycles
+
+
+class TestBookkeeping:
+    def test_run_respects_budget(self):
+        cpu = make_cpu()
+        result = cpu.run(iter([(OTHER, 0x400, 0, 0)] * 100), max_instructions=10)
+        assert result.instructions == 10
+
+    def test_mark_tracks_progress(self):
+        cpu = make_cpu()
+        cpu.run([(OTHER, 0x400, 0, 0)] * 100)
+        instructions, cycles = cpu.mark()
+        assert instructions == 100
+        assert cycles >= 25
+
+    def test_finish_drains_rob(self):
+        cpu = make_cpu()
+        cpu.step((LOAD, 0x400, 0x100_0000, 0))
+        cpu.finish()
+        assert cpu.cycle >= 150  # DRAM latency was paid
+
+    def test_resumable_across_run_calls(self):
+        cpu = make_cpu()
+        first = cpu.run([(OTHER, 0x400, 0, 0)] * 100)
+        second = cpu.run([(OTHER, 0x400, 0, 0)] * 100)
+        assert cpu.retired == 200
+        assert second.instructions == 100
+
+    def test_instruction_counter_reaches_hierarchy(self):
+        cpu = make_cpu()
+        cpu.run([(OTHER, 0x400, 0, 0)] * 50)
+        assert cpu.hierarchy.instructions == 50
+
+    def test_runs_plain_trace_objects(self):
+        cpu = make_cpu()
+        trace = Trace([(OTHER, 0x400, 0, 0)] * 10)
+        result = cpu.run(trace)
+        assert result.instructions == 10

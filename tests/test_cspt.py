@@ -1,0 +1,87 @@
+"""Tests for the CPLX class's signature/CSPT machinery."""
+
+from repro.core.cspt import CONFIDENCE_MAX, Cspt, update_signature
+from repro.core.ip_table import SIGNATURE_MASK
+
+
+class TestSignature:
+    def test_shift_xor_formula(self):
+        assert update_signature(0b0000001, 3) == ((0b10 ^ 3) & SIGNATURE_MASK)
+
+    def test_stays_in_seven_bits(self):
+        signature = 0
+        for stride in (3, 3, 4, -1, 63, -63):
+            signature = update_signature(signature, stride)
+            assert 0 <= signature <= SIGNATURE_MASK
+
+    def test_negative_strides_encode_differently(self):
+        assert update_signature(0, 1) != update_signature(0, -1)
+
+
+class TestTraining:
+    def test_confidence_builds_on_repetition(self):
+        cspt = Cspt()
+        # First observation installs the stride at confidence 0; each
+        # confirmation then increments up to the 2-bit maximum.
+        for _ in range(4):
+            cspt.train(10, 4)
+        assert cspt.lookup(10).confidence == CONFIDENCE_MAX
+        assert cspt.lookup(10).stride == 4
+
+    def test_confidence_decays_on_conflict(self):
+        cspt = Cspt()
+        cspt.train(10, 4)
+        cspt.train(10, 4)
+        cspt.train(10, 4)  # confidence 2
+        cspt.train(10, 7)  # conflict: decays to 1, stride survives
+        assert cspt.lookup(10).stride == 4
+        assert cspt.lookup(10).confidence == 1
+
+    def test_replacement_at_zero_confidence(self):
+        cspt = Cspt()
+        cspt.train(10, 4)
+        cspt.train(10, 7)  # confidence -> 0, stride replaced
+        assert cspt.lookup(10).stride == 7
+
+    def test_zero_stride_never_gains_confidence(self):
+        cspt = Cspt()
+        cspt.train(10, 0)
+        cspt.train(10, 0)
+        assert cspt.lookup(10).confidence == 0
+
+
+class TestPrediction:
+    def train_cycle(self, cspt, pattern, rounds=30):
+        signature = 0
+        for _ in range(rounds):
+            for stride in pattern:
+                cspt.train(signature, stride)
+                signature = update_signature(signature, stride)
+        return signature
+
+    def test_chain_follows_pattern(self):
+        cspt = Cspt()
+        signature = self.train_cycle(cspt, (3, 3, 4))
+        deltas = cspt.predict_chain(signature, 3)
+        assert deltas  # cumulative offsets of the learned pattern
+        assert deltas[0] in (3, 4)
+        assert all(b > a for a, b in zip(deltas, deltas[1:]))
+
+    def test_chain_respects_degree(self):
+        cspt = Cspt()
+        signature = self.train_cycle(cspt, (1,))
+        assert len(cspt.predict_chain(signature, 5)) <= 5
+
+    def test_unknown_signature_predicts_nothing(self):
+        cspt = Cspt()
+        assert cspt.predict_chain(0x55, 4) == []
+
+    def test_one_two_pattern_fully_predicted(self):
+        # The paper's mcf example: strides 1,2,1,2 defeat CS but train
+        # CPLX to full confidence.
+        cspt = Cspt()
+        signature = self.train_cycle(cspt, (1, 2))
+        deltas = cspt.predict_chain(signature, 4)
+        assert len(deltas) == 4
+        steps = [deltas[0]] + [b - a for a, b in zip(deltas, deltas[1:])]
+        assert set(steps) == {1, 2}

@@ -1,0 +1,143 @@
+"""Tests for the delta family: VLDP and SPP (+ PPF filter)."""
+
+from repro.prefetchers.base import AccessContext, AccessType
+from repro.prefetchers.ppf import PerceptronFilter
+from repro.prefetchers.spp import SppPrefetcher, advance_signature
+from repro.prefetchers.vldp import VldpPrefetcher
+
+BASE = 1 << 18
+
+
+def ctx_for(line, ip=0x400, cycle=0):
+    return AccessContext(ip=ip, addr=line << 6, cache_hit=False,
+                         kind=AccessType.LOAD, cycle=cycle)
+
+
+def feed_lines(pf, lines):
+    out = []
+    for i, line in enumerate(lines):
+        out.extend(pf.on_access(ctx_for(line, cycle=i * 10)))
+    return out
+
+
+def pattern_lines(strides, count, base=BASE):
+    lines, line = [], base
+    for i in range(count):
+        lines.append(line)
+        line += strides[i % len(strides)]
+    return lines
+
+
+class TestVldp:
+    def test_constant_delta_predicted(self):
+        pf = VldpPrefetcher()
+        requests = feed_lines(pf, pattern_lines((2,), 30))
+        assert requests
+        assert all((r.addr >> 6 - 0) > BASE for r in requests)
+
+    def test_alternating_deltas_predicted_via_history(self):
+        pf = VldpPrefetcher()
+        requests = feed_lines(pf, pattern_lines((1, 3), 60))
+        assert requests
+
+    def test_prediction_chains_up_to_degree(self):
+        pf = VldpPrefetcher(degree=4)
+        feed_lines(pf, pattern_lines((2,), 30))
+        requests = pf.on_access(ctx_for(BASE + 2 * 30))
+        assert 1 <= len(requests) <= 4
+
+    def test_dhb_capacity_bounded(self):
+        pf = VldpPrefetcher(dhb_entries=4)
+        feed_lines(pf, [BASE + i * 64 for i in range(50)])  # 50 pages
+        assert len(pf._dhb) <= 4
+
+    def test_no_prediction_for_unseen_history(self):
+        pf = VldpPrefetcher()
+        assert not feed_lines(pf, [BASE])
+
+
+class TestSppSignature:
+    def test_signature_folds_deltas(self):
+        sig = advance_signature(0, 3)
+        assert sig == (3 & 0x3F)
+        assert advance_signature(sig, 3) != sig
+
+    def test_signature_stays_twelve_bits(self):
+        sig = 0
+        for _ in range(100):
+            sig = advance_signature(sig, 33)
+            assert 0 <= sig < (1 << 12)
+
+
+class TestSpp:
+    def test_constant_stride_page_covered(self):
+        pf = SppPrefetcher()
+        requests = feed_lines(pf, pattern_lines((3,), 60))
+        assert requests
+        deltas = {((r.addr >> 6) - BASE) % 3 for r in requests}
+        assert deltas == {0}  # all on the stride-3 lattice
+
+    def test_lookahead_walks_multiple_steps(self):
+        pf = SppPrefetcher()
+        feed_lines(pf, pattern_lines((1,), 200))
+        requests = pf.on_access(ctx_for(BASE + 200))
+        assert len(requests) >= 2  # path confidence allows depth
+
+    def test_low_confidence_stops_walk(self):
+        pf = SppPrefetcher(threshold=0.99)
+        feed_lines(pf, pattern_lines((1, 2, 5, -3), 100))
+        requests = pf.on_access(ctx_for(BASE + 1))
+        assert len(requests) <= 1
+
+    def test_counter_saturation_keeps_ratios(self):
+        pf = SppPrefetcher()
+        for _ in range(200):
+            pf._pt_train(7, 3)
+        counters = pf._pt[7]
+        assert max(counters.values()) <= 16
+
+    def test_table_capacity_bounded(self):
+        pf = SppPrefetcher(st_entries=8)
+        feed_lines(pf, [BASE + i * 64 for i in range(100)])
+        assert len(pf._st) <= 8
+
+
+class TestPerceptronFilter:
+    def test_passes_proposals_by_default(self):
+        pf = PerceptronFilter(SppPrefetcher())
+        requests = feed_lines(pf, pattern_lines((1,), 200))
+        assert requests  # zero weights -> accepted
+
+    def test_rejects_after_negative_training(self):
+        inner = SppPrefetcher()
+        pf = PerceptronFilter(inner)
+        feed_lines(pf, pattern_lines((1,), 200))
+        # Hammer the weights negative for everything we propose.
+        for table in pf._weights:
+            for i in range(len(table)):
+                table[i] = -15
+        requests = pf.on_access(ctx_for(BASE + 200))  # continues the +1 walk
+        assert not requests
+        assert pf.stats.get("rejected", 0) > 0
+
+    def test_positive_feedback_on_hit(self):
+        inner = SppPrefetcher()
+        pf = PerceptronFilter(inner)
+        requests = feed_lines(pf, pattern_lines((1,), 200))
+        target = requests[-1].addr
+        before = sum(sum(t) for t in pf._weights)
+        pf.on_prefetch_hit(target, 0)
+        after = sum(sum(t) for t in pf._weights)
+        assert after >= before
+
+    def test_aged_out_prefetches_train_negative(self):
+        inner = SppPrefetcher()
+        pf = PerceptronFilter(inner)
+        feed_lines(pf, pattern_lines((1,), 1_000))
+        # The pending ring is bounded; old entries trained negative.
+        assert len(pf._pending) <= 512
+
+    def test_name_and_storage_compose(self):
+        pf = PerceptronFilter(SppPrefetcher())
+        assert pf.name == "spp+ppf"
+        assert pf.storage_bits > SppPrefetcher().storage_bits

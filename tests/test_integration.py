@@ -1,0 +1,106 @@
+"""End-to-end integration tests reproducing the paper's key claims in
+miniature: who wins on which pattern, multi-level gains, class shares.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentRunner
+from repro.core import IpcpConfig, IpcpL1, IpcpL2
+from repro.sim.engine import simulate
+from repro.stats import class_contributions
+from repro.workloads import spec_trace
+
+
+@pytest.fixture(scope="module")
+def runner():
+    traces = [
+        spec_trace(name, 0.5)
+        for name in ("lbm_like", "bwaves_like", "mcf_i_like",
+                     "omnetpp_like", "cactu_like", "wrf_like")
+    ]
+    return ExperimentRunner(traces)
+
+
+class TestWhoWinsWhere:
+    def test_ipcp_speeds_up_streaming(self, runner):
+        assert runner.speedups("ipcp")["lbm_like"] > 1.2
+
+    def test_ipcp_speeds_up_constant_stride(self, runner):
+        assert runner.speedups("ipcp")["bwaves_like"] > 1.2
+
+    def test_ipcp_speeds_up_complex_stride(self, runner):
+        assert runner.speedups("ipcp")["wrf_like"] > 1.05
+
+    def test_nobody_helps_pointer_chasing(self, runner):
+        # The paper: spatial prefetchers (IPCP included) fail on
+        # omnetpp-style irregular traffic.
+        for config in ("ipcp", "mlop", "bingo"):
+            assert runner.speedups(config)["omnetpp_like"] == \
+                pytest.approx(1.0, abs=0.08)
+
+    def test_ipcp_never_catastrophically_regresses(self, runner):
+        # cactusBSSN is the paper's known regression for IPCP (prefetches
+        # correct but too early for the small L1-D); everything else must
+        # stay close to or above baseline.
+        for name, value in runner.speedups("ipcp").items():
+            floor = 0.7 if name == "cactu_like" else 0.9
+            assert value > floor, name
+
+    def test_cactu_defeats_ip_classification(self, runner):
+        # Thousands of IPs thrash the 64-entry IP table: IPCP coverage
+        # collapses (the paper's cactusBSSN observation).
+        result = runner.result("cactu_like", "ipcp")
+        assert result.l1.coverage < 0.3
+
+
+class TestClassAttribution:
+    def test_stream_covered_by_gs(self, runner):
+        contributions = class_contributions(runner.result("lbm_like", "ipcp"))
+        assert contributions.get("gs", 0) > 0.5
+
+    def test_constant_stride_covered_by_cs(self, runner):
+        contributions = class_contributions(
+            runner.result("bwaves_like", "ipcp")
+        )
+        assert contributions.get("cs", 0) > 0.5
+
+    def test_complex_stride_covered_by_cplx(self, runner):
+        contributions = class_contributions(runner.result("wrf_like", "ipcp"))
+        assert contributions.get("cplx", 0) > 0.5
+
+
+class TestMultiLevel:
+    def test_l2_ipcp_adds_on_top_of_l1(self):
+        trace = spec_trace("fotonik_like", 0.3)
+        l1_only = simulate(trace, l1_prefetcher=IpcpL1())
+        multi = simulate(trace, l1_prefetcher=IpcpL1(),
+                         l2_prefetcher=IpcpL2())
+        assert multi.ipc > l1_only.ipc
+
+    def test_metadata_transfer_helps(self):
+        trace = spec_trace("fotonik_like", 0.3)
+        with_meta = simulate(trace, l1_prefetcher=IpcpL1(),
+                             l2_prefetcher=IpcpL2())
+        without = simulate(
+            trace,
+            l1_prefetcher=IpcpL1(IpcpConfig(send_metadata=False)),
+            l2_prefetcher=IpcpL2(),
+        )
+        assert with_meta.ipc >= without.ipc
+
+    def test_l2_coverage_substantial(self, runner):
+        # Paper Fig. 10 reports 79.5% coverage at the L2 for IPCP; our
+        # shorter traces land lower but the L2 must still cover a large
+        # share of its misses through the metadata channel.
+        result = runner.result("lbm_like", "ipcp")
+        assert result.l2.coverage > 0.4
+
+
+class TestStorageClaim:
+    def test_ipcp_wins_with_far_less_storage(self, runner):
+        ipcp = runner.result("lbm_like", "ipcp")
+        bingo = runner.result("lbm_like", "bingo")
+        assert ipcp.ipc >= bingo.ipc
+        assert bingo.l1_prefetcher.storage_bits > \
+            30 * (ipcp.l1_prefetcher.storage_bits
+                  + ipcp.l2_prefetcher.storage_bits)

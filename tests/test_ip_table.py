@@ -1,0 +1,104 @@
+"""Tests for the shared IP table: indexing, hysteresis, stride math."""
+
+from repro.core.ip_table import IpTable, clamp_stride
+
+
+class TestClampStride:
+    def test_within_range_unchanged(self):
+        assert clamp_stride(5) == 5
+        assert clamp_stride(-5) == -5
+
+    def test_clamps_to_seven_bit_field(self):
+        assert clamp_stride(100) == 63
+        assert clamp_stride(-100) == -63
+
+
+class TestLookupAndHysteresis:
+    def test_new_ip_takes_empty_slot(self):
+        table = IpTable()
+        entry = table.access(0x400)
+        assert entry is not None
+        assert entry.valid
+
+    def test_same_ip_returns_same_entry(self):
+        table = IpTable()
+        first = table.access(0x400)
+        first.stride = 7
+        again = table.access(0x400)
+        assert again is first
+
+    def test_challenger_clears_valid_but_does_not_evict(self):
+        table = IpTable(entries=64)
+        incumbent_ip = 0x400
+        challenger_ip = incumbent_ip + 64 * 8  # same index, different tag
+        incumbent = table.access(incumbent_ip)
+        incumbent.stride = 9
+        blocked = table.access(challenger_ip)
+        assert blocked is None
+        survivor = table.lookup(incumbent_ip)
+        assert survivor is not None and survivor.stride == 9
+        assert not survivor.valid
+
+    def test_second_challenge_takes_over(self):
+        table = IpTable(entries=64)
+        incumbent_ip = 0x400
+        challenger_ip = incumbent_ip + 64 * 8
+        table.access(incumbent_ip)
+        table.access(challenger_ip)  # clears valid
+        winner = table.access(challenger_ip)  # now takes the slot
+        assert winner is not None
+        assert table.lookup(incumbent_ip) is None
+
+    def test_incumbent_revalidates_on_return(self):
+        table = IpTable(entries=64)
+        incumbent_ip = 0x400
+        challenger_ip = incumbent_ip + 64 * 8
+        table.access(incumbent_ip)
+        table.access(challenger_ip)
+        entry = table.access(incumbent_ip)  # incumbent returns
+        assert entry is not None and entry.valid
+        # Challenger is blocked again: at least one IP stays tracked.
+        assert table.access(challenger_ip) is None
+
+
+class TestStrideComputation:
+    def test_simple_stride_within_page(self):
+        table = IpTable()
+        entry = table.access(0x400)
+        table.record_access(entry, 0x1000)
+        stride = table.compute_stride(entry, 0x1000 + 3 * 64)
+        assert stride == 3
+
+    def test_negative_stride(self):
+        table = IpTable()
+        entry = table.access(0x400)
+        table.record_access(entry, 0x1000 + 5 * 64)
+        assert table.compute_stride(entry, 0x1000) == -5
+
+    def test_forward_page_crossing(self):
+        # Offset 63 -> offset 0 of the next page: stride (0-63)+64 = 1
+        # (the paper's example).
+        table = IpTable()
+        entry = table.access(0x400)
+        table.record_access(entry, 63 * 64)
+        assert table.compute_stride(entry, 4096) == 1
+
+    def test_backward_page_crossing(self):
+        table = IpTable()
+        entry = table.access(0x400)
+        table.record_access(entry, 4096)  # page 1, offset 0
+        assert table.compute_stride(entry, 63 * 64) == -1  # page 0, offset 63
+
+    def test_far_page_jump_yields_no_stride(self):
+        table = IpTable()
+        entry = table.access(0x400)
+        table.record_access(entry, 0x1000)
+        assert table.compute_stride(entry, 0x1000 + 2 * 4096) == 0
+
+    def test_record_access_updates_shared_fields(self):
+        table = IpTable()
+        entry = table.access(0x400)
+        table.record_access(entry, 0x1000 + 5 * 64)
+        assert entry.last_line_offset == 5
+        assert entry.last_vpage == 1
+        assert entry.last_line == (0x1000 + 5 * 64) >> 6

@@ -1,0 +1,35 @@
+"""Tests for the 9-bit L1 -> L2 metadata packet."""
+
+import pytest
+
+from repro.core.metadata import MetaClass, decode_metadata, encode_metadata
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("meta_class", list(MetaClass))
+    @pytest.mark.parametrize("stride", [-63, -3, -1, 0, 1, 3, 63])
+    def test_roundtrip(self, meta_class, stride):
+        packet = encode_metadata(meta_class, stride)
+        decoded_class, decoded_stride = decode_metadata(packet)
+        assert decoded_class is meta_class
+        assert decoded_stride == stride
+
+    def test_packet_fits_in_nine_bits(self):
+        for meta_class in MetaClass:
+            for stride in (-63, 0, 63):
+                assert 0 <= encode_metadata(meta_class, stride) < 512
+
+    def test_out_of_range_stride_clamped(self):
+        packet = encode_metadata(MetaClass.CS, 1000)
+        assert decode_metadata(packet)[1] == 63
+        packet = encode_metadata(MetaClass.CS, -1000)
+        assert decode_metadata(packet)[1] == -63
+
+    def test_class_field_occupies_top_bits(self):
+        packet = encode_metadata(MetaClass.GS, 0)
+        assert packet >> 7 == int(MetaClass.GS)
+
+    def test_zero_packet_is_no_class(self):
+        meta_class, stride = decode_metadata(0)
+        assert meta_class is MetaClass.NONE
+        assert stride == 0

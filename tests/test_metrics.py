@@ -1,0 +1,116 @@
+"""Tests for metrics and report formatting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsys.cache import CacheStats
+from repro.sim.engine import SimResult
+from repro.sim.multicore import MixResult
+from repro.stats import (
+    class_contributions,
+    coverage_by_level,
+    format_table,
+    geometric_mean,
+    normalized_weighted_speedup,
+    speedup,
+)
+from repro.stats.metrics import dram_traffic_overhead
+
+
+def make_result(name="t", ipc_cycles=(1000, 1000), useful=0, uncovered=0,
+                by_class=None, dram_reads=0):
+    l1 = CacheStats(pf_useful=useful, uncovered_misses=uncovered,
+                    pf_useful_by_class=by_class or {})
+    return SimResult(
+        trace_name=name,
+        prefetcher_name="x",
+        instructions=ipc_cycles[0],
+        cycles=ipc_cycles[1],
+        l1=l1,
+        l2=CacheStats(),
+        llc=CacheStats(),
+        dram_reads=dram_reads,
+        dram_writes=0,
+    )
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        fast = make_result(ipc_cycles=(1000, 500))
+        slow = make_result(ipc_cycles=(1000, 1000))
+        assert speedup(fast, slow) == pytest.approx(2.0)
+
+    def test_cross_trace_comparison_rejected(self):
+        with pytest.raises(ConfigurationError):
+            speedup(make_result("a"), make_result("b"))
+
+
+class TestCoverageAndClasses:
+    def test_coverage_by_level_keys(self):
+        assert set(coverage_by_level(make_result())) == {"l1", "l2", "llc"}
+
+    def test_class_contributions_normalised(self):
+        result = make_result(by_class={1: 30, 3: 70})
+        contributions = class_contributions(result)
+        assert contributions["cs"] == pytest.approx(0.3)
+        assert contributions["gs"] == pytest.approx(0.7)
+        assert sum(contributions.values()) == pytest.approx(1.0)
+
+    def test_no_useful_prefetches_empty(self):
+        assert class_contributions(make_result()) == {}
+
+
+class TestWeightedSpeedup:
+    def test_normalised_ws(self):
+        pf = MixResult(["a"], [2.0], [2.0], 0, 0)
+        base = MixResult(["a"], [1.0], [2.0], 0, 0)
+        assert normalized_weighted_speedup(pf, base) == pytest.approx(2.0)
+
+    def test_zero_baseline_rejected(self):
+        pf = MixResult(["a"], [2.0], [2.0], 0, 0)
+        base = MixResult(["a"], [0.0], [2.0], 0, 0)
+        with pytest.raises(ConfigurationError):
+            normalized_weighted_speedup(pf, base)
+
+
+class TestDramOverhead:
+    def test_percentage_over_baseline(self):
+        pf = make_result(dram_reads=116)
+        base = make_result(dram_reads=100)
+        assert dram_traffic_overhead(pf, base) == pytest.approx(0.16)
+
+    def test_zero_baseline_returns_zero(self):
+        assert dram_traffic_overhead(make_result(), make_result()) == 0.0
+
+
+class TestFormatTable:
+    def test_header_and_rows_aligned(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 2.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in text
+        assert "2.000" in text
+
+    def test_title_included(self):
+        text = format_table(["c"], [[1]], title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text

@@ -1,0 +1,67 @@
+"""Additional coverage for hierarchy-level behaviours under composites
+and LLC prefetchers (paths the main suites touch only implicitly)."""
+
+from repro.core import IpcpL1, IpcpL2
+from repro.memsys.hierarchy import build_hierarchy
+from repro.params import SystemParams
+from repro.prefetchers.composite import CompositePrefetcher
+from repro.prefetchers.next_line import NextLinePrefetcher
+from repro.prefetchers.ip_stride import IpStridePrefetcher
+from repro.sim.engine import simulate
+
+from conftest import make_stream_trace
+
+
+class TestLlcPrefetcher:
+    def test_llc_prefetcher_fills_llc(self):
+        hierarchy = build_hierarchy(
+            SystemParams(), llc_prefetcher=NextLinePrefetcher(degree=2)
+        )
+        hierarchy.load(0x100_0000, 0x400, 0)
+        paddr = hierarchy.vmem.translate(0x100_0000)
+        # The LLC prefetcher sees the demand (an LLC miss) and fetches
+        # the next physical lines into the LLC only.
+        assert hierarchy.llc.stats.pf_issued > 0
+        assert hierarchy.llc.probe(paddr)
+
+    def test_llc_prefetches_do_not_pollute_l1(self):
+        hierarchy = build_hierarchy(
+            SystemParams(), llc_prefetcher=NextLinePrefetcher(degree=2)
+        )
+        hierarchy.load(0x100_0000, 0x400, 0)
+        assert hierarchy.l1d.stats.pf_issued == 0
+
+
+class TestCompositeAtLevel:
+    def test_composite_runs_in_full_simulation(self):
+        trace = make_stream_trace(n_loads=4_000)
+        composite = CompositePrefetcher(
+            [IpStridePrefetcher(), NextLinePrefetcher(degree=1)]
+        )
+        result = simulate(trace, l1_prefetcher=composite)
+        assert result.l1.pf_issued > 0
+        assert result.ipc > 0
+
+    def test_three_level_prefetching_coexists(self):
+        trace = make_stream_trace(n_loads=4_000)
+        result = simulate(
+            trace,
+            l1_prefetcher=IpcpL1(),
+            l2_prefetcher=IpcpL2(),
+            llc_prefetcher=NextLinePrefetcher(degree=1),
+        )
+        baseline = simulate(trace)
+        assert result.ipc >= baseline.ipc * 0.95
+
+
+class TestPrefetchFillLevels:
+    def test_l2_prefetcher_fills_l2_and_llc_not_l1(self):
+        hierarchy = build_hierarchy(
+            SystemParams(), l2_prefetcher=NextLinePrefetcher(degree=1)
+        )
+        hierarchy.load(0x100_0000, 0x400, 0)
+        next_paddr = hierarchy.vmem.translate(0x100_0000) + 64
+        # Same page => contiguous physical line for the +1 prefetch.
+        assert hierarchy.l2.probe(next_paddr)
+        assert hierarchy.llc.probe(next_paddr)
+        assert not hierarchy.l1d.probe(next_paddr)

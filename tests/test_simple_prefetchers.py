@@ -1,0 +1,135 @@
+"""Tests for next-line, IP-stride and stream prefetchers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prefetchers.base import AccessContext, AccessType
+from repro.prefetchers.ip_stride import IpStridePrefetcher
+from repro.prefetchers.next_line import (
+    NextLinePrefetcher,
+    ThrottledNextLinePrefetcher,
+)
+from repro.prefetchers.stream import StreamPrefetcher
+
+BASE = 1 << 18
+
+
+def ctx_for(line, ip=0x400, hit=False, kind=AccessType.LOAD, cycle=0):
+    return AccessContext(ip=ip, addr=line << 6, cache_hit=hit, kind=kind,
+                         cycle=cycle)
+
+
+def feed_lines(pf, lines, ip=0x400):
+    out = []
+    for i, line in enumerate(lines):
+        out.extend(pf.on_access(ctx_for(line, ip=ip, cycle=i * 10)))
+    return out
+
+
+class TestNextLine:
+    def test_prefetches_next_lines(self):
+        pf = NextLinePrefetcher(degree=2)
+        requests = pf.on_access(ctx_for(BASE))
+        assert [(r.addr >> 6) - BASE for r in requests] == [1, 2]
+
+    def test_respects_page_boundary(self):
+        pf = NextLinePrefetcher(degree=4)
+        requests = pf.on_access(ctx_for(BASE + 62))
+        assert [(r.addr >> 6) - (BASE + 62) for r in requests] == [1]
+
+    def test_miss_only_mode(self):
+        pf = NextLinePrefetcher(on_miss_only=True)
+        assert not pf.on_access(ctx_for(BASE, hit=True))
+        assert pf.on_access(ctx_for(BASE, hit=False))
+
+    def test_ignores_prefetch_arrivals(self):
+        pf = NextLinePrefetcher()
+        assert not pf.on_access(ctx_for(BASE, kind=AccessType.PREFETCH))
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ConfigurationError):
+            NextLinePrefetcher(degree=0)
+
+
+class TestThrottledNextLine:
+    def fill_epoch(self, pf, accuracy):
+        hits = int(ThrottledNextLinePrefetcher.EPOCH_FILLS * accuracy)
+        for i in range(ThrottledNextLinePrefetcher.EPOCH_FILLS):
+            if i < hits:
+                pf.on_prefetch_hit(0, 0)
+            pf.on_prefetch_fill(0, 0)
+
+    def test_disabled_after_inaccurate_epoch(self):
+        pf = ThrottledNextLinePrefetcher()
+        self.fill_epoch(pf, 0.0)
+        assert not pf.on_access(ctx_for(BASE))
+
+    def test_stays_enabled_when_accurate(self):
+        pf = ThrottledNextLinePrefetcher()
+        self.fill_epoch(pf, 0.9)
+        assert pf.on_access(ctx_for(BASE))
+
+    def test_probes_again_after_quiet_period(self):
+        pf = ThrottledNextLinePrefetcher(probe_period=10)
+        self.fill_epoch(pf, 0.0)
+        for i in range(10):
+            assert not pf.on_access(ctx_for(BASE + i))
+        assert pf.on_access(ctx_for(BASE + 99))
+
+
+class TestIpStride:
+    def test_constant_stride_prefetched(self):
+        pf = IpStridePrefetcher(degree=2)
+        requests = feed_lines(pf, [BASE + 4 * i for i in range(10)])
+        assert requests
+        last_trigger = BASE + 4 * 9
+        tail = [r for r in requests if (r.addr >> 6) > last_trigger]
+        assert {(r.addr >> 6) - last_trigger for r in tail} <= {4, 8}
+
+    def test_needs_two_confirmations(self):
+        pf = IpStridePrefetcher()
+        assert not feed_lines(pf, [BASE, BASE + 4, BASE + 8])
+
+    def test_per_ip_isolation(self):
+        pf = IpStridePrefetcher()
+        ip_a, ip_b = 0x401, 0x45F  # distinct table indexes
+        interleaved = []
+        for i in range(12):
+            interleaved.append((ip_a, BASE + 2 * i))
+            interleaved.append((ip_b, BASE + 4096 + 5 * i))
+        requests = []
+        for i, (ip, line) in enumerate(interleaved):
+            requests.extend(pf.on_access(ctx_for(line, ip=ip, cycle=i)))
+        assert requests  # both IPs train despite interleaving
+
+    def test_tag_conflict_resets_entry(self):
+        pf = IpStridePrefetcher(entries=64)
+        feed_lines(pf, [BASE + i for i in range(10)], ip=0x400)
+        # Same index, different tag steals the slot.
+        feed_lines(pf, [BASE + 8192], ip=0x400 + 64 * 2)
+        assert not feed_lines(pf, [BASE + 8192 + 1], ip=0x400 + 64 * 2)
+
+
+class TestStream:
+    def test_ascending_stream_detected(self):
+        pf = StreamPrefetcher()
+        requests = feed_lines(pf, [BASE + i for i in range(10)])
+        assert requests
+        assert all((r.addr >> 6) > BASE for r in requests)
+
+    def test_descending_stream_detected(self):
+        pf = StreamPrefetcher()
+        requests = feed_lines(pf, [BASE - i for i in range(10)])
+        assert requests
+        assert all((r.addr >> 6) < BASE for r in requests)
+
+    def test_random_accesses_do_not_trigger(self):
+        pf = StreamPrefetcher()
+        requests = feed_lines(pf, [BASE, BASE + 500, BASE + 123, BASE + 9000])
+        assert not requests
+
+    def test_stream_table_capacity_bounded(self):
+        pf = StreamPrefetcher(streams=4)
+        for i in range(64):
+            pf.on_access(ctx_for(BASE + i * 1000, cycle=i))
+        assert len(pf._streams) <= 4

@@ -1,0 +1,157 @@
+"""Tests for footprint prefetchers: SMS, Bingo, DSPatch; plus T-SKID/DOL."""
+
+from repro.prefetchers.base import AccessContext, AccessType
+from repro.prefetchers.bingo import BingoPrefetcher
+from repro.prefetchers.dol import DolPrefetcher
+from repro.prefetchers.dspatch import (
+    DspatchPrefetcher,
+    _rotate_left,
+    _rotate_right,
+)
+from repro.prefetchers.sms import SmsPrefetcher
+from repro.prefetchers.tskid import TskidPrefetcher
+from repro.params import LINES_PER_REGION
+
+BASE = 1 << 18  # region- and page-aligned line number
+
+
+def ctx_for(line, ip=0x400, cycle=0):
+    return AccessContext(ip=ip, addr=line << 6, cache_hit=False,
+                         kind=AccessType.LOAD, cycle=cycle)
+
+
+def feed(pf, accesses):
+    out = []
+    for i, access in enumerate(accesses):
+        ip, line = access if isinstance(access, tuple) else (0x400, access)
+        out.extend(pf.on_access(ctx_for(line, ip=ip, cycle=i * 10)))
+    return out
+
+
+def region_accesses(region_index, offsets, ip=0x400):
+    base = BASE + region_index * LINES_PER_REGION
+    return [(ip, base + offset) for offset in offsets]
+
+
+class TestSms:
+    def test_footprint_replayed_for_matching_trigger(self):
+        pf = SmsPrefetcher(agt_entries=1)  # close generations immediately
+        footprint = [0, 3, 7, 12]
+        # Train several regions with the same trigger (ip, offset 0).
+        for region in range(3):
+            feed(pf, region_accesses(region, footprint))
+        requests = feed(pf, region_accesses(10, [0]))
+        predicted = {(r.addr >> 6) - (BASE + 10 * LINES_PER_REGION)
+                     for r in requests}
+        assert predicted == {3, 7, 12}
+
+    def test_different_trigger_offset_no_replay(self):
+        pf = SmsPrefetcher(agt_entries=1)
+        for region in range(3):
+            feed(pf, region_accesses(region, [0, 3, 7]))
+        requests = feed(pf, region_accesses(10, [5]))
+        assert not requests
+
+    def test_pht_capacity_bounded(self):
+        pf = SmsPrefetcher(pht_entries=4, agt_entries=1)
+        for region in range(20):
+            feed(pf, region_accesses(region, [region % 8, 9]))
+        assert len(pf._pht) <= 4
+
+
+class TestBingo:
+    def test_short_key_fallback_replays(self):
+        pf = BingoPrefetcher(agt_entries=1)
+        for region in range(3):
+            feed(pf, region_accesses(region, [0, 4, 9]))
+        requests = feed(pf, region_accesses(11, [0]))
+        predicted = {(r.addr >> 6) - (BASE + 11 * LINES_PER_REGION)
+                     for r in requests}
+        assert predicted == {4, 9}
+        assert pf.stats.get("short_hits", 0) >= 1
+
+    def test_long_key_preferred_on_region_revisit(self):
+        pf = BingoPrefetcher(agt_entries=1)
+        feed(pf, region_accesses(0, [0, 4, 9]))
+        feed(pf, region_accesses(1, [0]))   # closes region 0's generation
+        feed(pf, region_accesses(2, [0]))   # closes region 1
+        feed(pf, region_accesses(0, [0]))   # revisit: exact trigger known
+        assert pf.stats.get("long_hits", 0) >= 1
+
+    def test_no_history_no_prefetch(self):
+        pf = BingoPrefetcher()
+        assert not feed(pf, region_accesses(0, [0]))
+
+
+class TestDspatchRotation:
+    def test_rotate_roundtrip(self):
+        pattern = 0b1011001
+        for amount in range(64):
+            assert _rotate_left(_rotate_right(pattern, amount), amount) == pattern
+
+    def test_anchored_patterns_align_across_phases(self):
+        pf = DspatchPrefetcher(page_buffers=1)
+        # Two pages with identical shape but different trigger offsets.
+        page_lines = 4096 // 64
+        first = [BASE + 2, BASE + 4, BASE + 6]
+        second = [BASE + page_lines + 3, BASE + page_lines + 5,
+                  BASE + page_lines + 7]
+        feed(pf, [(0x400, line) for line in first])
+        feed(pf, [(0x400, line) for line in second])  # closes first page
+        # Third page triggered at offset 10: replay anchored at 10.
+        requests = feed(pf, [(0x400, BASE + 2 * page_lines + 10)])
+        deltas = sorted((r.addr >> 6) - (BASE + 2 * page_lines + 10)
+                        for r in requests)
+        assert deltas == [2, 4]
+
+    def test_accuracy_switch_changes_pattern_choice(self):
+        pf = DspatchPrefetcher()
+        pf._accuracy = 0.1
+        assert pf._accuracy < 0.5  # AccP (intersection) pattern selected
+
+
+class TestTskid:
+    def test_stride_with_lead_distance(self):
+        pf = TskidPrefetcher()
+        requests = feed(pf, [BASE + 2 * i for i in range(20)])
+        assert requests
+        # Prefetches land at least `lead` strides ahead of the trigger.
+        for request in requests:
+            assert (request.addr >> 6) % 2 == BASE % 2
+
+    def test_lead_grows_when_prefetches_arrive_late(self):
+        pf = TskidPrefetcher()
+        # Accesses arrive quickly (cycle step 10 << 200): always late.
+        feed(pf, [BASE + 2 * i for i in range(200)])
+        entry = pf._table[0x400 & pf._mask]
+        assert entry.lead > 1
+
+    def test_unrelated_ips_do_not_interfere(self):
+        pf = TskidPrefetcher()
+        feed(pf, [(0x401, BASE + i) for i in range(10)])
+        feed(pf, [(0x777, BASE + 100_000)])
+        entry = pf._table[0x401 & pf._mask]
+        assert entry.tag == 0x401 >> pf._index_bits
+
+
+class TestDol:
+    def test_stride_component_runs_deep(self):
+        pf = DolPrefetcher(stride_degree=8)
+        requests = feed(pf, [BASE + i for i in range(10)])
+        assert requests
+        distances = {(r.addr >> 6) - (BASE + 9) for _, r in
+                     [(None, r) for r in requests] if (r.addr >> 6) > BASE + 9}
+        assert max(distances, default=0) <= 8
+
+    def test_dense_region_blasted_once(self):
+        pf = DolPrefetcher()
+        offsets = list(range(LINES_PER_REGION // 2 + 1))
+        requests = feed(pf, region_accesses(0, offsets))
+        # Once dense, every remaining line of the region is prefetched.
+        assert len(requests) >= LINES_PER_REGION - len(offsets)
+
+    def test_dense_region_never_declassified(self):
+        pf = DolPrefetcher()
+        offsets = list(range(LINES_PER_REGION // 2 + 1))
+        feed(pf, region_accesses(0, offsets))
+        assert (BASE * 64) >> 11 in pf._dense_regions

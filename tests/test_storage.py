@@ -1,0 +1,55 @@
+"""Tests for Table I storage accounting."""
+
+from repro.core.storage import (
+    CSPT_ENTRY_BITS,
+    IP_TABLE_ENTRY_BITS,
+    L2_IP_TABLE_ENTRY_BITS,
+    RST_ENTRY_BITS,
+    ipcp_storage_report,
+)
+
+
+class TestFieldWidths:
+    def test_ip_table_entry_is_36_bits(self):
+        assert IP_TABLE_ENTRY_BITS == 36
+
+    def test_cspt_entry_is_9_bits(self):
+        assert CSPT_ENTRY_BITS == 9
+
+    def test_rst_entry_is_53_bits(self):
+        assert RST_ENTRY_BITS == 53
+
+    def test_l2_entry_is_19_bits(self):
+        assert L2_IP_TABLE_ENTRY_BITS == 19
+
+
+class TestTableOne:
+    def test_l1_table_bits_are_5800(self):
+        assert ipcp_storage_report().l1_table_bits == 5800
+
+    def test_l1_other_bits_are_113(self):
+        assert ipcp_storage_report().l1_other_bits == 113
+
+    def test_l1_total_740_bytes(self):
+        assert ipcp_storage_report().l1_bytes == 740
+
+    def test_l2_total_155_bytes(self):
+        report = ipcp_storage_report()
+        assert report.l2_bits == 1237
+        assert report.l2_bytes == 155
+
+    def test_framework_total_895_bytes(self):
+        assert ipcp_storage_report().total_bytes == 895
+
+
+class TestScaling:
+    def test_doubling_ip_table_grows_storage(self):
+        small = ipcp_storage_report()
+        big = ipcp_storage_report(ip_table_entries=128)
+        assert big.l1_bits == small.l1_bits + 64 * 36
+
+    def test_pipt_configuration_costs_more(self):
+        # The paper notes a PIPT L1 pushes IPCP to ~2 KB; a few times
+        # larger tables land in that ballpark.
+        pipt = ipcp_storage_report(ip_table_entries=256, cspt_entries=256)
+        assert pipt.l1_bytes > 1_500

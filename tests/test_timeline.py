@@ -1,0 +1,78 @@
+"""Tests for windowed phase analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsys.hierarchy import build_hierarchy
+from repro.params import SystemParams
+from repro.sim.cpu import Cpu
+from repro.stats.timeline import TimelineRecorder, Window, phase_shift_windows
+from repro.workloads import spec_trace
+
+from conftest import make_stream_trace
+
+
+def record(trace, interval=2_000, prefetcher=None):
+    hierarchy = build_hierarchy(SystemParams(), l1_prefetcher=prefetcher)
+    cpu = Cpu(hierarchy)
+    recorder = TimelineRecorder(cpu, hierarchy, interval=interval)
+    return recorder.run(trace)
+
+
+class TestRecorder:
+    def test_windows_cover_the_trace(self):
+        trace = make_stream_trace(n_loads=2_000)
+        windows = record(trace, interval=1_000)
+        assert sum(w.instructions for w in windows) == len(trace)
+
+    def test_window_metrics_are_positive(self):
+        trace = make_stream_trace(n_loads=2_000)
+        for window in record(trace, interval=1_000):
+            assert window.cycles > 0
+            assert window.ipc > 0
+            assert window.l1_mpki >= 0
+
+    def test_interval_validation(self):
+        hierarchy = build_hierarchy(SystemParams())
+        with pytest.raises(ConfigurationError):
+            TimelineRecorder(Cpu(hierarchy), hierarchy, interval=0)
+
+    def test_start_instructions_monotone(self):
+        trace = make_stream_trace(n_loads=3_000)
+        windows = record(trace, interval=1_000)
+        starts = [w.start_instruction for w in windows]
+        assert starts == sorted(starts)
+
+    def test_prefetching_shows_in_windows(self):
+        from repro.core import IpcpL1
+        trace = make_stream_trace(n_loads=4_000)
+        windows = record(trace, interval=2_000, prefetcher=IpcpL1())
+        assert any(w.pf_issued > 0 for w in windows)
+        # Later windows (trained) cover misses.
+        assert windows[-1].pf_useful > 0
+
+
+class TestPhaseDetection:
+    def test_detects_mpki_jump(self):
+        calm = Window(0, 1000, 1000, 5, 0, 0)
+        stormy = Window(1000, 1000, 3000, 200, 0, 0)
+        shifts = phase_shift_windows([calm, calm, stormy, stormy])
+        assert shifts == [2]
+
+    def test_no_shift_on_stable_phases(self):
+        calm = Window(0, 1000, 1000, 50, 0, 0)
+        assert phase_shift_windows([calm] * 5) == []
+
+    def test_factor_validation(self):
+        with pytest.raises(ConfigurationError):
+            phase_shift_windows([], factor=1.0)
+
+    def test_mixed_workload_has_phases(self):
+        # xz alternates hot-set, chase and stream episodes.
+        trace = spec_trace("xz_like", 0.3)
+        hierarchy = build_hierarchy(SystemParams())
+        cpu = Cpu(hierarchy)
+        windows = TimelineRecorder(cpu, hierarchy, interval=2_000).run(trace)
+        assert len(windows) >= 3
+        mpkis = [w.l1_mpki for w in windows]
+        assert max(mpkis) > min(mpkis)

@@ -1,0 +1,122 @@
+"""Tests for the trace format: records, validation, (de)serialisation."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.sim.trace import (
+    BRANCH,
+    LOAD,
+    OTHER,
+    STORE,
+    Trace,
+    load_trace,
+    normalize_record,
+    save_trace,
+    validate_record,
+)
+
+
+class TestNormalisation:
+    def test_three_tuple_gains_dep_zero(self):
+        assert normalize_record((LOAD, 0x400, 0x1000)) == (LOAD, 0x400, 0x1000, 0)
+
+    def test_four_tuple_passthrough(self):
+        assert normalize_record((LOAD, 1, 2, 1)) == (LOAD, 1, 2, 1)
+
+    def test_truthy_dep_coerced_to_one(self):
+        assert normalize_record((LOAD, 1, 2, True)) == (LOAD, 1, 2, 1)
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(TraceError):
+            normalize_record((LOAD, 1))
+
+
+class TestValidation:
+    def test_valid_records_pass(self):
+        for record in [
+            (LOAD, 0x400, 0x1000, 0),
+            (STORE, 0x404, 0x2000, 1),
+            (BRANCH, 0x408, 0, 0),
+            (OTHER, 0x40C, 0, 0),
+        ]:
+            validate_record(record)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceError):
+            validate_record((9, 0x400, 0x1000, 0))
+
+    def test_memory_record_needs_address(self):
+        with pytest.raises(TraceError):
+            validate_record((LOAD, 0x400, 0, 0))
+
+    def test_bad_dep_rejected(self):
+        with pytest.raises(TraceError):
+            validate_record((LOAD, 0x400, 0x1000, 2))
+
+    def test_trace_validate_walks_all_records(self):
+        trace = Trace([(LOAD, 0x400, 0x1000, 0), (OTHER, 0x404, 0, 0)])
+        trace.validate()  # no raise
+
+
+class TestTraceContainer:
+    def test_len_and_indexing(self):
+        trace = Trace([(LOAD, 1, 64, 0), (OTHER, 2, 0, 0)], name="x")
+        assert len(trace) == 2
+        assert trace[0] == (LOAD, 1, 64, 0)
+
+    def test_slicing_preserves_name(self):
+        trace = Trace([(OTHER, 1, 0, 0)] * 10, name="x")
+        assert trace[2:5].name == "x"
+        assert len(trace[2:5]) == 3
+
+    def test_memory_and_load_counts(self):
+        trace = Trace([
+            (LOAD, 1, 64, 0), (STORE, 2, 128, 0), (OTHER, 3, 0, 0),
+        ])
+        assert trace.memory_records == 2
+        assert trace.load_records == 1
+
+    def test_footprint_lines(self):
+        trace = Trace([
+            (LOAD, 1, 0, 0) if False else (LOAD, 1, 10, 0),
+            (LOAD, 1, 50, 0),    # same line as 10
+            (LOAD, 1, 100, 0),   # second line
+        ])
+        assert trace.footprint_lines() == 2
+
+    def test_replay_wraps_around(self):
+        trace = Trace([(OTHER, 1, 0, 0), (OTHER, 2, 0, 0)])
+        replay = trace.replay()
+        values = [next(replay)[1] for _ in range(5)]
+        assert values == [1, 2, 1, 2, 1]
+
+    def test_replay_of_empty_trace_raises(self):
+        with pytest.raises(TraceError):
+            next(Trace([]).replay())
+
+
+class TestSerialisation:
+    def test_roundtrip(self, tmp_path):
+        trace = Trace(
+            [(LOAD, 0x400, 0x1000, 1), (OTHER, 0x404, 0, 0)], name="rt"
+        )
+        path = str(tmp_path / "trace.bin")
+        save_trace(trace, path)
+        loaded = load_trace(path, name="rt")
+        assert list(loaded) == list(trace)
+        assert loaded.name == "rt"
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"XXXX" + b"\x00" * 16)
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+    def test_truncated_file_rejected(self, tmp_path):
+        trace = Trace([(LOAD, 0x400, 0x1000, 0)] * 4)
+        path = str(tmp_path / "trunc.bin")
+        save_trace(trace, path)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:-5])
+        with pytest.raises(TraceError):
+            load_trace(path)

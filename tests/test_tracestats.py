@@ -1,0 +1,94 @@
+"""Tests for the Section III trace-analysis module."""
+
+from repro.analysis.tracestats import IpProfile, analyze_trace
+from repro.sim.trace import LOAD, OTHER, Trace
+from repro.workloads import spec_trace
+
+BASE = 1 << 18
+
+
+def loads_for(lines, ip=0x400):
+    return Trace([(LOAD, ip, line << 6, 0) for line in lines], name="t")
+
+
+class TestIpProfile:
+    def test_constant_stride_detected(self):
+        profile = IpProfile(ip=0x400)
+        for i in range(20):
+            profile.observe(BASE + 3 * i)
+        assert profile.classification == "constant_stride"
+        assert profile.dominant_stride == 3
+
+    def test_complex_stride_detected(self):
+        profile = IpProfile(ip=0x400)
+        line = BASE
+        for i in range(40):
+            profile.observe(line)
+            line += 1 if i % 2 == 0 else 2
+        assert profile.classification == "complex_stride"
+
+    def test_irregular_detected(self):
+        import random
+        rng = random.Random(11)
+        profile = IpProfile(ip=0x400)
+        for _ in range(40):
+            profile.observe(BASE + rng.randrange(100_000))
+        assert profile.classification == "irregular"
+
+    def test_singleton_for_rare_ips(self):
+        profile = IpProfile(ip=0x400)
+        profile.observe(BASE)
+        assert profile.classification == "singleton"
+
+    def test_same_line_touches_dont_count_as_strides(self):
+        profile = IpProfile(ip=0x400)
+        for _ in range(10):
+            profile.observe(BASE)
+        assert not profile.strides
+
+
+class TestAnalyzeTrace:
+    def test_counts_ips_and_loads(self):
+        trace = Trace(
+            [(LOAD, 0x400, BASE << 6, 0), (LOAD, 0x500, (BASE + 1) << 6, 0),
+             (OTHER, 0x600, 0, 0)],
+            name="t",
+        )
+        profile = analyze_trace(trace)
+        assert profile.loads == 2
+        assert profile.distinct_ips == 2
+
+    def test_class_shares_sum_to_one(self):
+        profile = analyze_trace(loads_for([BASE + 3 * i for i in range(50)]))
+        shares = profile.class_shares()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+    def test_dense_region_fraction(self):
+        # Touch all 32 lines of one region, one line of another.
+        lines = list(range(BASE, BASE + 32)) + [BASE + 4096]
+        profile = analyze_trace(loads_for(lines))
+        assert profile.dense_region_fraction == 0.5
+
+
+class TestSectionIiiOnSuite:
+    """The motivation claims hold on the synthetic SPEC suite."""
+
+    def test_bwaves_is_constant_stride(self):
+        profile = analyze_trace(spec_trace("bwaves_like", 0.2))
+        assert profile.dominant_class() == "constant_stride"
+
+    def test_wrf_is_complex_stride(self):
+        profile = analyze_trace(spec_trace("wrf_like", 0.2))
+        assert profile.dominant_class() == "complex_stride"
+
+    def test_omnetpp_is_irregular(self):
+        profile = analyze_trace(spec_trace("omnetpp_like", 0.2))
+        assert profile.dominant_class() == "irregular"
+
+    def test_gcc_regions_are_dense(self):
+        profile = analyze_trace(spec_trace("gcc_like", 0.2))
+        assert profile.dense_region_fraction > 0.7
+
+    def test_cactu_has_table_defeating_ip_count(self):
+        profile = analyze_trace(spec_trace("cactu_like", 0.5))
+        assert profile.distinct_ips > 256

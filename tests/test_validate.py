@@ -1,0 +1,93 @@
+"""Tests for the prefetcher validation harness — including running it
+over every registered prefetcher as a library-wide contract check."""
+
+import pytest
+
+from repro.analysis.validate import check_prefetcher
+from repro.prefetchers import available_prefetchers, make_prefetcher
+from repro.prefetchers.base import Prefetcher, PrefetchRequest
+from repro.workloads import spec_trace
+
+# Temporal prefetchers predict physical successors and may cross pages.
+CROSS_PAGE_OK = {"isb", "domino", "triage", "ipcp_temporal"}
+
+
+class TestHarness:
+    def test_clean_prefetcher_passes(self):
+        config = make_prefetcher("ipcp")
+        report = check_prefetcher(config["l1"](), spec_trace("lbm_like", 0.1))
+        assert report.ok, report.by_kind()
+        assert report.accesses > 0
+
+    def test_page_crossing_detected(self):
+        class Crosser(Prefetcher):
+            def __init__(self):
+                super().__init__(name="crosser")
+
+            def on_access(self, ctx):
+                return [PrefetchRequest(addr=ctx.addr + 8192)]
+
+        report = check_prefetcher(Crosser(), spec_trace("lbm_like", 0.05))
+        assert not report.ok
+        assert report.by_kind().get("page_cross", 0) > 0
+
+    def test_cross_page_can_be_allowed(self):
+        class Crosser(Prefetcher):
+            def __init__(self):
+                super().__init__(name="crosser")
+
+            def on_access(self, ctx):
+                return [PrefetchRequest(addr=ctx.addr + 8192)]
+
+        report = check_prefetcher(Crosser(), spec_trace("lbm_like", 0.05),
+                                  allow_cross_page=True)
+        assert report.ok
+
+    def test_bad_metadata_detected(self):
+        class WideMeta(Prefetcher):
+            def __init__(self):
+                super().__init__(name="wide")
+
+            def on_access(self, ctx):
+                return [PrefetchRequest(addr=ctx.addr + 64, metadata=4096)]
+
+        report = check_prefetcher(WideMeta(), spec_trace("lbm_like", 0.05))
+        assert report.by_kind().get("metadata_width", 0) > 0
+
+    def test_exceptions_are_captured(self):
+        class Broken(Prefetcher):
+            def __init__(self):
+                super().__init__(name="broken")
+
+            def on_access(self, ctx):
+                raise RuntimeError("boom")
+
+        report = check_prefetcher(Broken(), spec_trace("lbm_like", 0.05))
+        assert report.by_kind().get("exception", 0) > 0
+
+    def test_runaway_burst_detected(self):
+        class Flood(Prefetcher):
+            def __init__(self):
+                super().__init__(name="flood")
+
+            def on_access(self, ctx):
+                line = ctx.addr >> 6
+                page_base = (line // 64) * 64
+                return [PrefetchRequest(addr=(page_base) << 6)
+                        for _ in range(100)]
+
+        report = check_prefetcher(Flood(), spec_trace("lbm_like", 0.05))
+        assert report.by_kind().get("burst", 0) > 0
+
+
+@pytest.mark.parametrize("name", [
+    n for n in available_prefetchers() if n != "none"
+])
+def test_every_registered_prefetcher_honours_the_contract(name):
+    """Library-wide audit: all shipped prefetchers obey the rules."""
+    config = make_prefetcher(name)
+    trace = spec_trace("roms_like", 0.1)
+    allow = name in CROSS_PAGE_OK
+    for level, factory in config.items():
+        report = check_prefetcher(factory(), trace, allow_cross_page=allow)
+        assert report.ok, (name, level, report.by_kind())

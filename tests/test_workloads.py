@@ -1,0 +1,187 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import LOAD, STORE
+from repro.workloads import (
+    SPEC_BENCHMARKS,
+    cloudsuite_suite,
+    full_suite,
+    heterogeneous_mixes,
+    homogeneous_mix,
+    memory_intensive_suite,
+    neural_suite,
+    spec_trace,
+)
+from repro.workloads.cloudsuite import CLOUDSUITE_BENCHMARKS, cloudsuite_trace
+from repro.workloads.neural import NEURAL_BENCHMARKS, neural_trace
+from repro.workloads.patterns import (
+    WorkloadBuilder,
+    complex_stride_pattern,
+    dense_region_burst,
+    pointer_chase,
+    stream_pattern,
+    strided_pattern,
+)
+
+
+class TestWorkloadBuilder:
+    def test_ips_are_stable_per_role(self):
+        builder = WorkloadBuilder("t")
+        assert builder.ip("a") == builder.ip("a")
+        assert builder.ip("a") != builder.ip("b")
+
+    def test_load_adds_alu_padding(self):
+        builder = WorkloadBuilder("t", alu_per_load=3)
+        builder.load("x", 0x1000)
+        assert len(builder.records) == 4
+
+    def test_first_alu_depends_on_load(self):
+        builder = WorkloadBuilder("t", alu_per_load=2)
+        builder.load("x", 0x1000)
+        deps = [r[3] for r in builder.records]
+        assert deps == [0, 1, 0]
+
+    def test_build_produces_named_trace(self):
+        builder = WorkloadBuilder("myname")
+        builder.load("x", 0x1000)
+        assert builder.build().name == "myname"
+
+    def test_rejects_negative_alu(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadBuilder("t", alu_per_load=-1)
+
+
+class TestPatterns:
+    def test_stream_is_sequential(self):
+        builder = WorkloadBuilder("t", alu_per_load=0)
+        stream_pattern(builder, "s", 0x1000, 16)
+        addrs = [r[2] for r in builder.records]
+        assert addrs == [0x1000 + 8 * i for i in range(16)]
+
+    def test_strided_pattern_line_stride(self):
+        builder = WorkloadBuilder("t", alu_per_load=0)
+        strided_pattern(builder, "s", 0x1000, 4, stride_lines=3,
+                        loads_per_stop=1)
+        lines = [r[2] >> 6 for r in builder.records]
+        assert lines == [64, 67, 70, 73]
+
+    def test_complex_stride_sequence(self):
+        builder = WorkloadBuilder("t", alu_per_load=0)
+        complex_stride_pattern(builder, "s", 0x1000, 6, (1, 2),
+                               loads_per_stop=1)
+        lines = [r[2] >> 6 for r in builder.records]
+        deltas = [b - a for a, b in zip(lines, lines[1:])]
+        assert deltas == [1, 2, 1, 2, 1]
+
+    def test_pointer_chase_is_dependent(self):
+        builder = WorkloadBuilder("t", alu_per_load=0)
+        pointer_chase(builder, "p", 0x10_0000, 64, 32)
+        assert all(r[3] == 1 for r in builder.records if r[0] == LOAD)
+
+    def test_dense_burst_touches_every_region_line(self):
+        builder = WorkloadBuilder("t", alu_per_load=0)
+        dense_region_burst(builder, ["a", "b"], 0x10_0000, regions=1,
+                           loads_per_line=1)
+        lines = {r[2] >> 6 for r in builder.records}
+        assert len(lines) == 32  # all lines of the 2 KB region
+
+    def test_empty_stride_sequence_rejected(self):
+        builder = WorkloadBuilder("t")
+        with pytest.raises(ConfigurationError):
+            complex_stride_pattern(builder, "s", 0x1000, 4, ())
+
+
+class TestSpecSuite:
+    def test_all_benchmarks_build(self):
+        for name in SPEC_BENCHMARKS:
+            trace = spec_trace(name, scale=0.05)
+            assert len(trace) > 0
+            trace.validate()
+
+    def test_deterministic_given_seed(self):
+        a = spec_trace("lbm_like", 0.05, seed=3)
+        b = spec_trace("lbm_like", 0.05, seed=3)
+        assert list(a) == list(b)
+
+    def test_scale_controls_length(self):
+        # Generators emit whole episodes, so compare scales far enough
+        # apart to guarantee extra episodes.
+        small = spec_trace("gcc_like", 0.1)
+        big = spec_trace("gcc_like", 0.5)
+        assert len(big) > len(small)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            spec_trace("not_a_benchmark")
+
+    def test_memory_intensive_subset(self):
+        intensive = memory_intensive_suite(scale=0.02)
+        everything = full_suite(scale=0.02)
+        assert 0 < len(intensive) < len(everything)
+        names = {t.name for t in intensive}
+        assert "xalancbmk_like" not in names  # the paper's outlier
+
+    def test_lbm_contains_stores(self):
+        trace = spec_trace("lbm_like", 0.05)
+        assert any(kind == STORE for kind, _, _, _ in trace)
+
+    def test_omnetpp_loads_are_dependent(self):
+        trace = spec_trace("omnetpp_like", 0.05)
+        chase_loads = [r for r in trace if r[0] == LOAD and r[3] == 1]
+        assert len(chase_loads) > len(trace) // 20
+
+    def test_cactu_has_many_distinct_ips(self):
+        trace = spec_trace("cactu_like", 0.3)
+        ips = {ip for kind, ip, _, _ in trace if kind == LOAD}
+        assert len(ips) > 256  # defeats a 64-entry IP table
+
+
+class TestCloudAndNeural:
+    def test_cloudsuite_builds_five_traces(self):
+        suite = cloudsuite_suite(scale=0.02)
+        assert len(suite) == len(CLOUDSUITE_BENCHMARKS) == 5
+
+    def test_cloudsuite_has_large_code_footprint(self):
+        trace = cloudsuite_trace("cassandra_like", 0.2)
+        ips = {ip for kind, ip, _, _ in trace if kind == LOAD}
+        assert len(ips) > 128
+
+    def test_neural_builds_seven_traces(self):
+        suite = neural_suite(scale=0.02)
+        assert len(suite) == len(NEURAL_BENCHMARKS) == 7
+
+    def test_neural_traces_are_streaming(self):
+        trace = neural_trace("vgg19_like", 0.1)
+        loads = [addr for kind, _, addr, _ in trace if kind == LOAD]
+        lines = {a >> 6 for a in loads}
+        # Streaming: lines touched ~ loads / (loads per line), i.e. low reuse.
+        assert len(lines) > len(loads) // 20
+
+
+class TestMixes:
+    def test_homogeneous_mix_replicates_trace(self):
+        mix = homogeneous_mix("lbm_like", 4, scale=0.02)
+        assert len(mix) == 4
+        assert len({t.name for t in mix}) == 1
+
+    def test_heterogeneous_mixes_are_seeded(self):
+        a = heterogeneous_mixes(3, 2, scale=0.02, seed=5)
+        b = heterogeneous_mixes(3, 2, scale=0.02, seed=5)
+        assert [[t.name for t in mix] for mix in a] == \
+               [[t.name for t in mix] for mix in b]
+
+    def test_memory_intensive_pool_restriction(self):
+        mixes = heterogeneous_mixes(
+            8, 2, memory_intensive_only=True, scale=0.02
+        )
+        intensive = {
+            name for name, (_, flag, _) in SPEC_BENCHMARKS.items() if flag
+        }
+        for mix in mixes:
+            assert all(t.name in intensive for t in mix)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            homogeneous_mix("lbm_like", 0)
