@@ -33,7 +33,7 @@ ROI = 8_000
 MIX_SCALE = 0.25
 
 
-def run_mixes():
+def run_mixes(backend=None):
     mixes = {
         f"{name} x4": homogeneous_mix(name, 4, scale=MIX_SCALE)
         for name in HOMOGENEOUS
@@ -49,8 +49,10 @@ def run_mixes():
     gains = {config: [] for config in CONFIGS}
     alone_cache: dict[str, float] = {}
     for mix_name, traces in mixes.items():
+        # The per-core alone runs go through the session runner, so
+        # they parallelize and persist in the shared result cache.
         base = simulate_mix(traces, warmup=WARMUP, roi=ROI,
-                            alone_ipc=alone_cache)
+                            alone_ipc=alone_cache, runner=backend)
         row = [mix_name]
         for config, factories in CONFIGS.items():
             result = simulate_mix(
@@ -68,8 +70,8 @@ def run_mixes():
     return rows, gains
 
 
-def test_fig15_multicore_summary(benchmark, emit):
-    rows, gains = once(benchmark, run_mixes)
+def test_fig15_multicore_summary(benchmark, emit, sim_backend):
+    rows, gains = once(benchmark, lambda: run_mixes(sim_backend))
     mean_row = ["geomean"] + [
         geometric_mean(gains[config]) for config in CONFIGS
     ]

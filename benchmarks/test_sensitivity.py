@@ -16,7 +16,7 @@ import pytest
 
 from conftest import once
 
-from repro.analysis import run_levels, sweep_system
+from repro.analysis import run_levels, run_sweep, sweep_system
 from repro.core import IpcpConfig, IpcpL1, IpcpL2
 from repro.sim.engine import simulate
 from repro.stats import format_table, geometric_mean
@@ -32,21 +32,24 @@ def traces():
     return [spec_trace(name, SCALE) for name in TRACES]
 
 
-def mean_speedup(traces, params=None, config="ipcp"):
-    speedups = []
-    for trace in traces:
-        base = run_levels(trace, "none", params)
-        result = run_levels(trace, config, params)
-        speedups.append(result.speedup_over(base))
-    return geometric_mean(speedups)
+def swept_speedups(traces, params_list, backend, config="ipcp"):
+    """Mean IPCP speedup per swept point, through the session runner.
+
+    One fan-out over the whole (params x trace x config) grid: cells
+    parallelize under REPRO_BENCH_JOBS and persist in the session
+    cache, so re-running a sensitivity benchmark is a cache hit.
+    """
+    rows = run_sweep(traces, [config], params_list, runner=backend)
+    return [row[config] for row in rows]
 
 
-def test_sensitivity_replacement_policy(benchmark, traces, emit):
+def test_sensitivity_replacement_policy(benchmark, traces, emit,
+                                        sim_backend):
     def sweep():
-        return {
-            policy: mean_speedup(traces, sweep_system(replacement=policy))
-            for policy in ("lru", "srrip", "drrip", "ship")
-        }
+        policies = ("lru", "srrip", "drrip", "ship")
+        params = [sweep_system(replacement=p) for p in policies]
+        return dict(zip(policies,
+                        swept_speedups(traces, params, sim_backend)))
 
     results = once(benchmark, sweep)
     emit("sensitivity_replacement", format_table(
@@ -58,7 +61,7 @@ def test_sensitivity_replacement_policy(benchmark, traces, emit):
     assert all(v > 1.1 for v in values)
 
 
-def test_sensitivity_cache_sizes(benchmark, traces, emit):
+def test_sensitivity_cache_sizes(benchmark, traces, emit, sim_backend):
     def sweep():
         settings = {
             "48KB/512KB/2MB (paper)": sweep_system(),
@@ -67,8 +70,8 @@ def test_sensitivity_cache_sizes(benchmark, traces, emit):
             "4MB LLC": sweep_system(llc_size=4 * 1024 * 1024),
             "512KB LLC": sweep_system(llc_size=512 * 1024),
         }
-        return {name: mean_speedup(traces, params)
-                for name, params in settings.items()}
+        return dict(zip(settings, swept_speedups(
+            traces, list(settings.values()), sim_backend)))
 
     results = once(benchmark, sweep)
     emit("sensitivity_cache_sizes", format_table(
@@ -80,13 +83,13 @@ def test_sensitivity_cache_sizes(benchmark, traces, emit):
     assert all(v > 1.1 for v in values)
 
 
-def test_sensitivity_dram_bandwidth(benchmark, traces, emit):
+def test_sensitivity_dram_bandwidth(benchmark, traces, emit,
+                                   sim_backend):
     def sweep():
-        return {
-            f"{bw} GB/s": mean_speedup(
-                traces, sweep_system(dram_bandwidth_gbps=bw))
-            for bw in (3.2, 12.8, 25.0)
-        }
+        bandwidths = (3.2, 12.8, 25.0)
+        params = [sweep_system(dram_bandwidth_gbps=bw) for bw in bandwidths]
+        return dict(zip((f"{bw} GB/s" for bw in bandwidths),
+                        swept_speedups(traces, params, sim_backend)))
 
     results = once(benchmark, sweep)
     emit("sensitivity_dram_bandwidth", format_table(

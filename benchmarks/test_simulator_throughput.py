@@ -3,13 +3,19 @@
 Not a paper artifact — a regression guard for the repository itself:
 the whole benchmark suite only stays runnable if the simulator keeps
 processing on the order of 10^5 instructions per second in pure
-Python.  This bench measures records/second with and without IPCP and
-fails if throughput collapses by an order of magnitude.
+Python.  This bench measures records/second four ways — raw baseline,
+raw with IPCP, cached replay through the persistent result cache, and
+a 2-worker parallel fan-out — and fails if raw throughput collapses by
+an order of magnitude or the cache stops being a shortcut.  All rates
+land in the pytest-benchmark JSON (``extra_info``) so BENCH_*.json
+tracks the cached/parallel speedup trajectory over time.
 """
 
+import os
 import time
 
 from repro.core import IpcpL1, IpcpL2
+from repro.runner import ResultCache, SimulationRunner, levels_job
 from repro.sim.engine import simulate
 from repro.workloads import spec_trace
 
@@ -21,19 +27,51 @@ def measure(trace, **kwargs):
     return len(trace) / elapsed
 
 
-def test_simulator_throughput(benchmark, emit):
+def measure_jobs(specs, total_records, jobs, cache=None):
+    """Aggregate records/second resolving ``specs`` with ``jobs`` workers."""
+    runner = SimulationRunner(jobs=jobs, cache=cache)
+    start = time.perf_counter()
+    runner.run(specs)
+    elapsed = time.perf_counter() - start
+    return total_records / elapsed
+
+
+def test_simulator_throughput(benchmark, emit, tmp_path):
     trace = spec_trace("lbm_like", 0.5)
 
+    # A >=4-trace suite for the parallel fan-out comparison (smaller
+    # scale keeps the sequential leg of the comparison affordable).
+    suite = [spec_trace(name, 0.25)
+             for name in ("lbm_like", "bwaves_like", "fotonik_like",
+                          "wrf_like")]
+    suite_records = sum(len(t) for t in suite)
+    suite_specs = [levels_job(t, "ipcp") for t in suite]
+
+    cache = ResultCache(str(tmp_path / "simcache"))
+    replay_spec = levels_job(trace, "ipcp")
+
     def run():
-        return {
+        rates = {
             "baseline": measure(trace),
             "ipcp": measure(trace, l1_prefetcher=IpcpL1(),
                             l2_prefetcher=IpcpL2()),
         }
+        # Warm the cache once, then time a cold-process-equivalent
+        # replay: the second resolution must be a pure cache hit.
+        SimulationRunner(cache=cache).run([replay_spec])
+        rates["cached_replay"] = measure_jobs(
+            [replay_spec], len(trace), jobs=1, cache=cache
+        )
+        rates["parallel_1w"] = measure_jobs(suite_specs, suite_records, 1)
+        rates["parallel_2w"] = measure_jobs(suite_specs, suite_records, 2)
+        return rates
 
     rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["rates"] = {k: round(v) for k, v in rates.items()}
     emit("simulator_throughput", "\n".join(
-        [f"simulator throughput ({trace.name}, {len(trace)} records)"]
+        [f"simulator throughput ({trace.name}, {len(trace)} records; "
+         f"parallel suite {suite_records} records on "
+         f"{os.cpu_count()} cpus)"]
         + [f"  {name}: {rate:,.0f} records/s" for name, rate in rates.items()]
     ))
     # Floors chosen ~10x below current performance: they catch
@@ -42,3 +80,12 @@ def test_simulator_throughput(benchmark, emit):
     assert rates["ipcp"] > 15_000
     # Prefetching costs simulation time but not more than ~5x.
     assert rates["ipcp"] > rates["baseline"] / 5
+    # A cache hit must beat re-simulating by a wide margin.
+    assert rates["cached_replay"] > rates["ipcp"] * 5
+    # Fan-out must pay for its process overhead where cores exist.
+    if (os.cpu_count() or 1) >= 4:
+        rate_4w = measure_jobs(suite_specs, suite_records, 4)
+        benchmark.extra_info["rates"]["parallel_4w"] = round(rate_4w)
+        assert rate_4w >= 2.0 * rates["parallel_1w"]
+    if (os.cpu_count() or 1) >= 2:
+        assert rates["parallel_2w"] > rates["parallel_1w"]

@@ -11,6 +11,8 @@ Public API tour:
 * :mod:`repro.memsys` — caches, DRAM, virtual memory.
 * :mod:`repro.workloads` — synthetic SPEC-2017-like trace generators.
 * :mod:`repro.stats` — metrics (coverage, accuracy, MPKI, speedups).
+* :mod:`repro.runner` — parallel job runner and persistent
+  content-addressed result cache behind every experiment grid.
 """
 
 from repro.core import IpcpConfig, IpcpL1, IpcpL2

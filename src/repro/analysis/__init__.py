@@ -4,11 +4,12 @@ from repro.analysis.experiments import (
     ExperimentRunner,
     run_levels,
 )
-from repro.analysis.sweep import sweep_dram_bandwidth, sweep_system
+from repro.analysis.sweep import run_sweep, sweep_dram_bandwidth, sweep_system
 
 __all__ = [
     "ExperimentRunner",
     "run_levels",
+    "run_sweep",
     "sweep_dram_bandwidth",
     "sweep_system",
 ]

@@ -1,16 +1,23 @@
 """High-level experiment runner used by every figure/table benchmark.
 
-:class:`ExperimentRunner` runs (trace x named-configuration) cells and
-memoizes results, so a benchmark session that regenerates several
-figures over the same suite only simulates each cell once.  Named
-configurations come from the prefetcher registry
+:class:`ExperimentRunner` runs (trace x named-configuration) cells on
+top of :class:`repro.runner.SimulationRunner`: cells fan out across
+worker processes (``jobs=N``), land in a persistent content-addressed
+cache (``cache_dir=...``) and are additionally memoized in-process, so
+a benchmark session that regenerates several figures over the same
+suite simulates each cell at most once — and a *second* session over
+the same suite simulates nothing at all.  Named configurations come
+from the prefetcher registry
 (:func:`repro.prefetchers.make_prefetcher`).
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from repro.params import SystemParams
 from repro.prefetchers import make_prefetcher
+from repro.runner import ResultCache, SimulationRunner, levels_job
 from repro.sim.engine import SimResult, simulate
 from repro.sim.trace import Trace
 from repro.stats.metrics import geometric_mean, speedup
@@ -33,29 +40,72 @@ def run_levels(
 
 
 class ExperimentRunner:
-    """Memoizing (trace, config) -> SimResult runner over a fixed suite."""
+    """Memoizing (trace, config) -> SimResult runner over a fixed suite.
+
+    ``jobs`` and ``cache_dir`` configure a private
+    :class:`SimulationRunner`; alternatively a shared ``runner`` may be
+    injected (the benchmark session does this so every figure script
+    draws from one pool and one cache).
+    """
 
     def __init__(
         self,
         traces: list[Trace],
         params: SystemParams | None = None,
+        jobs: int = 1,
+        cache_dir: str | None = None,
+        runner: SimulationRunner | None = None,
     ) -> None:
         self.traces = {trace.name: trace for trace in traces}
         self.params = params
+        if runner is None:
+            cache = ResultCache(cache_dir) if cache_dir else None
+            runner = SimulationRunner(jobs=jobs, cache=cache)
+        self.runner = runner
         self._cache: dict[tuple[str, str], SimResult] = {}
+
+    @property
+    def simulations_run(self) -> int:
+        """Simulations actually executed (cache hits excluded)."""
+        return self.runner.simulations_run
+
+    def _spec(self, trace_name: str, config_name: str):
+        return levels_job(
+            self.traces[trace_name], config_name, self.params
+        )
+
+    def ensure(self, cells: Iterable[tuple[str, str]]) -> None:
+        """Resolve a batch of (trace, config) cells in one fan-out.
+
+        This is where parallelism comes from: a figure that needs a
+        whole grid should ensure it up front rather than pulling cells
+        one at a time through :meth:`result`.
+        """
+        missing: list[tuple[str, str]] = []
+        for cell in cells:
+            if cell not in self._cache and cell not in missing:
+                missing.append(cell)
+        if not missing:
+            return
+        specs = [self._spec(*cell) for cell in missing]
+        for cell, payload in zip(missing, self.runner.run(specs)):
+            self._cache[cell] = payload
 
     def result(self, trace_name: str, config_name: str) -> SimResult:
         """Run (or recall) one cell."""
         key = (trace_name, config_name)
         if key not in self._cache:
-            self._cache[key] = run_levels(
-                self.traces[trace_name], config_name, self.params
-            )
+            self.ensure([key])
         return self._cache[key]
 
     def speedups(self, config_name: str, baseline: str = "none"
                  ) -> dict[str, float]:
         """Per-trace speedup of ``config_name`` over ``baseline``."""
+        self.ensure(
+            (name, config)
+            for name in self.traces
+            for config in (config_name, baseline)
+        )
         return {
             name: speedup(
                 self.result(name, config_name), self.result(name, baseline)
@@ -71,6 +121,11 @@ class ExperimentRunner:
         self, config_names: list[str], baseline: str = "none"
     ) -> list[list]:
         """Rows of [trace, speedup_per_config...] plus a geomean row."""
+        self.ensure(
+            (name, config)
+            for name in self.traces
+            for config in [*config_names, baseline]
+        )
         rows = []
         for name in self.traces:
             row: list = [name]

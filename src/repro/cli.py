@@ -6,9 +6,16 @@ Examples::
     python -m repro list-workloads
     python -m repro run --workload lbm_like --prefetcher ipcp
     python -m repro compare --workloads lbm_like,bwaves_like \\
-                            --prefetchers ipcp,mlop,bingo
+                            --prefetchers ipcp,mlop,bingo --jobs 4
+    python -m repro sweep --axis dram-bandwidth --values 3.2,12.8,25.0 \\
+                          --workloads lbm_like,bwaves_like
     python -m repro analyze --workload mcf_i_like
     python -m repro mix --workload lbm_like --cores 4 --prefetcher ipcp
+
+Simulation commands accept ``--jobs N`` to fan cells out across worker
+processes and keep a persistent result cache (``--cache-dir``, default
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro-sim``; disable with
+``--no-cache``), so repeating a figure or sweep is a cache hit.
 """
 
 from __future__ import annotations
@@ -16,11 +23,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis import ExperimentRunner, run_levels
+from repro.analysis import ExperimentRunner, run_levels, run_sweep
 from repro.analysis.tracestats import analyze_trace
 from repro.analysis.validate import check_prefetcher
 from repro.errors import ReproError
 from repro.prefetchers import available_prefetchers, make_prefetcher
+from repro.runner import ResultCache, SimulationRunner
 from repro.sim.multicore import simulate_mix
 from repro.sim.trace import load_trace, save_trace
 from repro.stats import format_table, normalized_weighted_speedup
@@ -77,10 +85,31 @@ def cmd_list_workloads(args) -> int:
     return 0
 
 
+def make_backend(args) -> SimulationRunner:
+    """Build the job runner from the shared --jobs/--cache-dir options."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return SimulationRunner(jobs=args.jobs, cache=cache)
+
+
+def parse_size(text: str) -> int:
+    """Parse a byte size with an optional k/m suffix ('512k', '2m')."""
+    text = text.strip().lower()
+    multiplier = 1
+    if text.endswith(("k", "m")):
+        multiplier = 1024 if text.endswith("k") else 1024 * 1024
+        text = text[:-1]
+    try:
+        return int(text) * multiplier
+    except ValueError:
+        raise ReproError(f"bad size {text!r}; expected e.g. 32768, 32k, 2m")
+
+
 def cmd_run(args) -> int:
     trace = build_trace(args.workload, args.scale)
-    baseline = run_levels(trace, "none")
-    result = run_levels(trace, args.prefetcher)
+    runner = ExperimentRunner([trace], runner=make_backend(args))
+    runner.ensure([(trace.name, "none"), (trace.name, args.prefetcher)])
+    baseline = runner.result(trace.name, "none")
+    result = runner.result(trace.name, args.prefetcher)
     rows = [
         ["IPC", baseline.ipc, result.ipc],
         ["speedup", 1.0, result.speedup_over(baseline)],
@@ -101,10 +130,45 @@ def cmd_compare(args) -> int:
     traces = [build_trace(name, args.scale)
               for name in args.workloads.split(",")]
     configs = args.prefetchers.split(",")
-    runner = ExperimentRunner(traces)
+    runner = ExperimentRunner(traces, runner=make_backend(args))
     rows = runner.speedup_table(configs)
     print(format_table(["trace"] + configs, rows,
                        title="Speedup over no prefetching"))
+    return 0
+
+
+_SWEEP_AXES = ("dram-bandwidth", "l1-size", "l2-size", "llc-size",
+               "replacement")
+
+
+def cmd_sweep(args) -> int:
+    from repro.analysis.sweep import sweep_system
+
+    traces = [build_trace(name, args.scale)
+              for name in args.workloads.split(",")]
+    configs = args.prefetchers.split(",")
+    values = args.values.split(",")
+    params_list = []
+    for value in values:
+        if args.axis == "dram-bandwidth":
+            params_list.append(sweep_system(dram_bandwidth_gbps=float(value)))
+        elif args.axis == "l1-size":
+            params_list.append(sweep_system(l1_size=parse_size(value)))
+        elif args.axis == "l2-size":
+            params_list.append(sweep_system(l2_size=parse_size(value)))
+        elif args.axis == "llc-size":
+            params_list.append(sweep_system(llc_size=parse_size(value)))
+        else:
+            params_list.append(sweep_system(replacement=value))
+    rows_by_point = run_sweep(
+        traces, configs, params_list, runner=make_backend(args)
+    )
+    rows = [[value] + [point[config] for config in configs]
+            for value, point in zip(values, rows_by_point)]
+    print(format_table(
+        [args.axis] + configs, rows,
+        title=f"Geomean speedup over no prefetching, swept {args.axis}",
+    ))
     return 0
 
 
@@ -173,7 +237,9 @@ def cmd_report(args) -> int:
     from repro.stats.export import write_csv
 
     os.makedirs(args.out, exist_ok=True)
-    runner = ExperimentRunner(memory_intensive_suite(scale=args.scale))
+    runner = ExperimentRunner(
+        memory_intensive_suite(scale=args.scale), runner=make_backend(args)
+    )
     for name, figure in ALL_FIGURES.items():
         title, headers, rows = figure(runner)
         text = format_table(headers, rows, title=title)
@@ -188,12 +254,16 @@ def cmd_report(args) -> int:
 def cmd_mix(args) -> int:
     traces = homogeneous_mix(args.workload, args.cores, scale=args.scale)
     levels = make_prefetcher(args.prefetcher)
-    base = simulate_mix(traces)
+    backend = make_backend(args)
+    alone: dict[str, float] = {}
+    base = simulate_mix(traces, alone_ipc=alone, runner=backend)
     result = simulate_mix(
         traces,
         l1_factory=levels.get("l1"),
         l2_factory=levels.get("l2"),
         llc_factory=levels.get("llc"),
+        alone_ipc=alone,
+        runner=backend,
     )
     rows = [
         ["weighted speedup (baseline)", base.weighted_speedup],
@@ -205,6 +275,18 @@ def cmd_mix(args) -> int:
         title=f"{args.cores}-core homogeneous mix of {args.workload}",
     ))
     return 0
+
+
+def add_runner_options(parser: argparse.ArgumentParser) -> None:
+    """Shared --jobs/--cache-dir/--no-cache options for simulation commands."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for simulation cells")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent result cache location "
+                             "(default: $REPRO_CACHE_DIR or "
+                             "~/.cache/repro-sim)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -221,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workload", required=True)
     run.add_argument("--prefetcher", default="ipcp")
     run.add_argument("--scale", type=float, default=0.5)
+    add_runner_options(run)
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="speedup table")
@@ -228,7 +311,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated workload names")
     compare.add_argument("--prefetchers", default="ipcp,mlop,bingo")
     compare.add_argument("--scale", type=float, default=0.4)
+    add_runner_options(compare)
     compare.set_defaults(func=cmd_compare)
+
+    sweep = sub.add_parser(
+        "sweep", help="sensitivity sweep along one system axis")
+    sweep.add_argument("--axis", required=True, choices=_SWEEP_AXES)
+    sweep.add_argument("--values", required=True,
+                       help="comma-separated axis values (GB/s for "
+                            "dram-bandwidth, bytes with optional k/m "
+                            "suffix for sizes, policy names for "
+                            "replacement)")
+    sweep.add_argument("--workloads", required=True,
+                       help="comma-separated workload names")
+    sweep.add_argument("--prefetchers", default="ipcp")
+    sweep.add_argument("--scale", type=float, default=0.4)
+    add_runner_options(sweep)
+    sweep.set_defaults(func=cmd_sweep)
 
     analyze = sub.add_parser("analyze", help="Section III pattern profile")
     analyze.add_argument("--workload", required=True)
@@ -258,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="regenerate the core paper artifacts")
     report.add_argument("--out", default="report")
     report.add_argument("--scale", type=float, default=0.4)
+    add_runner_options(report)
     report.set_defaults(func=cmd_report)
 
     mix = sub.add_parser("mix", help="homogeneous multicore mix")
@@ -265,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     mix.add_argument("--cores", type=int, default=4)
     mix.add_argument("--prefetcher", default="ipcp")
     mix.add_argument("--scale", type=float, default=0.25)
+    add_runner_options(mix)
     mix.set_defaults(func=cmd_mix)
 
     return parser

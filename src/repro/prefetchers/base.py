@@ -95,6 +95,39 @@ class Prefetcher:
         """Increment a named statistic counter."""
         self.stats[counter] = self.stats.get(counter, 0) + amount
 
+    def summary(self) -> "PrefetcherSummary":
+        """Lightweight snapshot of this prefetcher for result records.
+
+        :class:`repro.sim.engine.SimResult` carries summaries instead of
+        live prefetcher objects so results pickle cleanly across process
+        boundaries and into the persistent result cache.
+        """
+        return PrefetcherSummary(
+            name=self.name,
+            storage_bits=self.storage_bits,
+            counters=tuple(sorted(self.stats.items())),
+        )
+
+
+@dataclass(frozen=True)
+class PrefetcherSummary:
+    """Picklable per-prefetcher stats summary (name, budget, counters).
+
+    ``counters`` is the prefetcher's :attr:`Prefetcher.stats` dict frozen
+    into a sorted tuple of ``(name, value)`` pairs, so equal prefetcher
+    states serialize byte-identically regardless of counter insertion
+    order.
+    """
+
+    name: str
+    storage_bits: int
+    counters: tuple = ()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """The counters as a plain dict (mirrors ``Prefetcher.stats``)."""
+        return dict(self.counters)
+
 
 class NullPrefetcher(Prefetcher):
     """Explicit no-prefetching placeholder (the paper's baseline)."""

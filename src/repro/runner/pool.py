@@ -1,0 +1,74 @@
+"""Fan jobs out across processes, backed by the persistent cache.
+
+:meth:`SimulationRunner.run` resolves a batch of specs in three steps:
+probe the cache, execute the misses (sequentially or on a
+``ProcessPoolExecutor``), publish the new results.  Results come back
+in submission order regardless of worker completion order, and
+duplicate specs within a batch are executed once, so a caller can
+submit a whole figure grid naively and still get deterministic output.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.errors import ReproError
+from repro.runner.cache import ResultCache
+from repro.runner.job import JobSpec, execute_job
+
+
+class SimulationRunner:
+    """Batch executor for :class:`JobSpec` values.
+
+    ``jobs`` is the worker-process count (1 = run in this process);
+    ``cache`` an optional :class:`ResultCache`.  ``simulations_run``
+    counts actual simulations — cache hits do not increment it, which is
+    how tests assert that a warm rerun performs zero simulations.
+    """
+
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None) -> None:
+        if jobs < 1:
+            raise ReproError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.simulations_run = 0
+        self.cache_hits = 0
+
+    def run(self, specs: list[JobSpec]) -> list:
+        """Resolve every spec; returns payloads in submission order."""
+        order: list[str] = []
+        resolved: dict[str, object] = {}
+        pending: dict[str, JobSpec] = {}
+        for spec in specs:
+            key = spec.cache_key()
+            order.append(key)
+            if key in resolved or key in pending:
+                continue
+            if self.cache is not None:
+                hit, payload = self.cache.get(key)
+                if hit:
+                    self.cache_hits += 1
+                    resolved[key] = payload
+                    continue
+            pending[key] = spec
+        for key, payload in self._execute(pending):
+            resolved[key] = payload
+            if self.cache is not None:
+                self.cache.put(key, payload)
+        return [resolved[key] for key in order]
+
+    def run_one(self, spec: JobSpec):
+        """Resolve a single spec (convenience wrapper around :meth:`run`)."""
+        return self.run([spec])[0]
+
+    def _execute(self, pending: dict[str, JobSpec]) -> list[tuple[str, object]]:
+        if not pending:
+            return []
+        items = list(pending.items())
+        self.simulations_run += len(items)
+        if self.jobs == 1 or len(items) == 1:
+            return [(key, execute_job(spec)) for key, spec in items]
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
+            futures = [(key, pool.submit(execute_job, spec))
+                       for key, spec in items]
+            return [(key, future.result()) for key, future in futures]

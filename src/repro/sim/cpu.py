@@ -123,18 +123,91 @@ class Cpu:
         The budget is checked *before* pulling from the iterator, so a
         partially-consumed iterator can be resumed by a later call
         without losing records (the timeline recorder relies on this).
+
+        The loop body is :meth:`step` inlined with every loop-invariant
+        attribute hoisted into locals; the two MUST stay semantically in
+        lockstep (``test_cpu.py`` pins run-vs-step equivalence).  In pure
+        Python the per-record attribute traffic dominates, so this is
+        the simulator's single hottest optimization site.
         """
         start_retired = self.retired
         start_cycle = self.cycle
         budget = max_instructions if max_instructions is not None else float("inf")
         iterator = iter(records)
         executed = 0
+
+        params = self.params
+        width = params.width
+        rob_size = params.rob_size
+        rob = self._rob
+        rob_append = rob.append
+        rob_popleft = rob.popleft
+        hierarchy = self.hierarchy
+        hier_load = hierarchy.load
+        hier_store = hierarchy.store
+        hier_tick = hierarchy.tick_instruction
+        predictor_update = self.branch_predictor.update
+        penalty = self.branch_predictor.misprediction_penalty
+        cycle = self.cycle
+        retired = self.retired
+        dispatched = self._dispatched_this_cycle
+        inorder = self._inorder_completion
+        last_load = self._last_load_completion
+
         while executed < budget:
             record = next(iterator, None)
             if record is None:
                 break
-            self.step(record)
+            kind, ip, addr, dep = record
+
+            if dispatched >= width:
+                cycle += 1
+                dispatched = 0
+                while rob and rob[0] <= cycle:
+                    rob_popleft()
+
+            if len(rob) >= rob_size:
+                head = rob[0]
+                if head > cycle:
+                    cycle = head
+                dispatched = 0
+                while rob and rob[0] <= cycle:
+                    rob_popleft()
+
+            issue = cycle
+            if dep and last_load > issue:
+                issue = last_load
+
+            if kind == LOAD:
+                completion = hier_load(addr, ip, issue)
+                last_load = completion
+            elif kind == STORE:
+                hier_store(addr, ip, issue)
+                completion = issue + 1
+            elif kind == BRANCH:
+                completion = issue + 1
+                if predictor_update(ip, bool(addr & 1)):
+                    stall = issue + penalty
+                    if stall > cycle:
+                        cycle = stall
+                    dispatched = 0
+            else:
+                completion = issue + 1
+
+            if completion > inorder:
+                inorder = completion
+            rob_append(inorder)
+            dispatched += 1
+            retired += 1
+            hier_tick()
             executed += 1
+
+        self.cycle = cycle
+        self.retired = retired
+        self._dispatched_this_cycle = dispatched
+        self._inorder_completion = inorder
+        self._last_load_completion = last_load
+
         self.finish()
         return CpuResult(
             instructions=self.retired - start_retired,

@@ -14,14 +14,20 @@ from dataclasses import dataclass
 from repro.memsys.cache import CacheStats
 from repro.memsys.hierarchy import Hierarchy, build_hierarchy
 from repro.params import SystemParams
-from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.base import Prefetcher, PrefetcherSummary
 from repro.sim.cpu import Cpu
 from repro.sim.trace import Trace
 
 
 @dataclass
 class SimResult:
-    """Everything a figure/table needs from one single-core run."""
+    """Everything a figure/table needs from one single-core run.
+
+    The prefetcher fields are :class:`PrefetcherSummary` snapshots — not
+    live prefetcher objects — so a result pickles cleanly across process
+    boundaries and into the persistent result cache without dragging
+    prefetcher internals (tables, filters, throttlers) along.
+    """
 
     trace_name: str
     prefetcher_name: str
@@ -32,8 +38,8 @@ class SimResult:
     llc: CacheStats
     dram_reads: int
     dram_writes: int
-    l1_prefetcher: Prefetcher | None = None
-    l2_prefetcher: Prefetcher | None = None
+    l1_prefetcher: PrefetcherSummary | None = None
+    l2_prefetcher: PrefetcherSummary | None = None
 
     @property
     def ipc(self) -> float:
@@ -153,6 +159,10 @@ def simulate(
         llc=hierarchy.llc.stats,
         dram_reads=hierarchy.dram.reads,
         dram_writes=hierarchy.dram.writes,
-        l1_prefetcher=l1_prefetcher,
-        l2_prefetcher=l2_prefetcher,
+        l1_prefetcher=(
+            l1_prefetcher.summary() if l1_prefetcher is not None else None
+        ),
+        l2_prefetcher=(
+            l2_prefetcher.summary() if l2_prefetcher is not None else None
+        ),
     )

@@ -69,15 +69,33 @@ class Trace(Sequence[TraceRecord]):
     """A named, indexable instruction trace."""
 
     def __init__(self, records: Iterable, name: str = "trace") -> None:
-        self._records: list[TraceRecord] = [normalize_record(r) for r in records]
+        # Records already in canonical form (4-tuples with an int dep
+        # bit) are kept as-is: normalization then costs one type check
+        # per record at construction instead of a tuple rebuild, and —
+        # more importantly — warm-up/ROI slices taken on every simulate
+        # call skip it entirely via _from_records.
+        self._records: list[TraceRecord] = [
+            r if type(r) is tuple and len(r) == 4
+            and type(r[3]) is int and 0 <= r[3] <= 1
+            else normalize_record(r)
+            for r in records
+        ]
         self.name = name
+
+    @classmethod
+    def _from_records(cls, records: list[TraceRecord], name: str) -> "Trace":
+        """Internal constructor for already-canonical record lists."""
+        trace = cls.__new__(cls)
+        trace._records = records
+        trace.name = name
+        return trace
 
     def __len__(self) -> int:
         return len(self._records)
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return Trace(self._records[index], name=self.name)
+            return Trace._from_records(self._records[index], self.name)
         return self._records[index]
 
     def __iter__(self) -> Iterator[TraceRecord]:

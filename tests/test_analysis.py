@@ -77,3 +77,55 @@ class TestSweeps:
         params = sweep_system(dram_bandwidth_gbps=3.2)
         result = run_levels(small_suite[0], "ipcp", params)
         assert result.ipc > 0
+
+
+class TestSweepValidation:
+    """sweep_system must reject size/way combinations that cannot give
+    an integral power-of-two set count, instead of silently keeping
+    default way counts that blow up (or mis-index) downstream."""
+
+    def test_bad_l1_size_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="L1D"):
+            sweep_system(l1_size=40 * 1024)  # 80 or 53.3 sets — neither works
+
+    def test_bad_l2_size_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="L2"):
+            sweep_system(l2_size=384 * 1024)  # 768 sets at 8 ways
+
+    def test_bad_llc_size_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="LLC"):
+            sweep_system(llc_size=3 * 1024 * 1024)  # 3072 sets at 16 ways
+
+    def test_l1_falls_back_to_eight_ways(self):
+        params = sweep_system(l1_size=64 * 1024)
+        assert params.l1d.ways == 8
+        assert params.l1d.sets == 128
+
+    def test_l1_prefers_twelve_ways(self):
+        params = sweep_system(l1_size=96 * 1024)
+        assert params.l1d.ways == 12
+        assert params.l1d.sets == 128
+
+
+class TestRunSweep:
+    def test_run_sweep_matches_pointwise_results(self, small_suite):
+        from repro.analysis import run_sweep
+
+        params_list = sweep_dram_bandwidth([3.2, 25.0])
+        rows = run_sweep(small_suite, ["ipcp"], params_list)
+        assert len(rows) == 2
+        for row in rows:
+            assert set(row) == {"ipcp"}
+            assert row["ipcp"] > 0
+
+        # Point 0 must equal an independent sequential computation.
+        runner = ExperimentRunner(small_suite, params=params_list[0])
+        assert rows[0]["ipcp"] == pytest.approx(
+            runner.mean_speedup("ipcp"), rel=1e-12
+        )

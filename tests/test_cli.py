@@ -93,3 +93,50 @@ class TestTraceFileCommands:
         code = main(["validate", "--prefetcher", "isb",
                      "--allow-cross-page", "--scale", "0.1"])
         assert code == 0
+
+
+class TestRunnerOptions:
+    def test_compare_with_jobs_and_cache(self, tmp_path, capsys):
+        argv = ["compare", "--workloads", "bwaves_like,gcc_like",
+                "--prefetchers", "ipcp", "--scale", "0.1",
+                "--jobs", "2", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "geomean" in first
+        # Second invocation resolves entirely from the persistent cache
+        # and must print the identical table.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_run_no_cache(self, capsys):
+        code = main(["run", "--workload", "bwaves_like", "--scale", "0.1",
+                     "--no-cache"])
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_sweep_prints_axis_table(self, tmp_path, capsys):
+        code = main(["sweep", "--axis", "dram-bandwidth",
+                     "--values", "3.2,25.0",
+                     "--workloads", "bwaves_like", "--prefetchers", "ipcp",
+                     "--scale", "0.1",
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dram-bandwidth" in out
+        assert "3.2" in out and "25.0" in out
+
+    def test_sweep_rejects_invalid_size(self, tmp_path, capsys):
+        code = main(["sweep", "--axis", "l1-size", "--values", "40k",
+                     "--workloads", "bwaves_like", "--scale", "0.1",
+                     "--no-cache"])
+        assert code == 2
+        assert "power-of-two" in capsys.readouterr().err
+
+    def test_parse_size_suffixes(self):
+        from repro.cli import parse_size
+
+        assert parse_size("32k") == 32 * 1024
+        assert parse_size("2m") == 2 * 1024 * 1024
+        assert parse_size("4096") == 4096
+        with pytest.raises(ReproError):
+            parse_size("huge")

@@ -96,3 +96,42 @@ class TestBookkeeping:
         trace = Trace([(OTHER, 0x400, 0, 0)] * 10)
         result = cpu.run(trace)
         assert result.instructions == 10
+
+
+class TestRunStepEquivalence:
+    """`run` inlines `step` with hoisted locals; the two must stay in
+    lockstep — any divergence breaks multicore (step) vs single-core
+    (run) comparability and the runner's determinism guarantees."""
+
+    def test_run_matches_stepping_on_mixed_trace(self):
+        from repro.workloads import spec_trace
+
+        trace = spec_trace("wrf_like", 0.05)
+        fast = make_cpu()
+        fast.run(trace)
+
+        slow = make_cpu()
+        for record in trace:
+            slow.step(record)
+        slow.finish()
+
+        assert (fast.retired, fast.cycle) == (slow.retired, slow.cycle)
+        assert fast._inorder_completion == slow._inorder_completion
+        assert fast._last_load_completion == slow._last_load_completion
+        assert fast.hierarchy.dram.reads == slow.hierarchy.dram.reads
+        assert fast.hierarchy.l1d.stats.demand_misses == \
+            slow.hierarchy.l1d.stats.demand_misses
+
+    def test_run_matches_stepping_under_tiny_rob_and_width(self):
+        from repro.workloads import spec_trace
+
+        trace = spec_trace("omnetpp_like", 0.05)
+        fast = make_cpu(width=1, rob=8)
+        fast.run(trace)
+
+        slow = make_cpu(width=1, rob=8)
+        for record in trace:
+            slow.step(record)
+        slow.finish()
+
+        assert (fast.retired, fast.cycle) == (slow.retired, slow.cycle)

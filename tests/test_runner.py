@@ -1,0 +1,235 @@
+"""Tests for the parallel simulation runner and its persistent cache.
+
+Covers the contract the figure pipeline depends on: cache keys are a
+pure function of simulation inputs, parallel execution is bit-identical
+to sequential execution, corrupted cache entries are recomputed rather
+than crashed on or trusted, and a warm cache turns a repeated suite
+into zero simulations.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analysis import ExperimentRunner
+from repro.errors import ReproError
+from repro.runner import (
+    JobSpec,
+    ResultCache,
+    SimulationRunner,
+    alone_ipc_job,
+    execute_job,
+    levels_job,
+    trace_signature,
+)
+from repro.sim.multicore import simulate_mix
+from repro.sim.trace import Trace
+from repro.workloads import spec_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return spec_trace("bwaves_like", 0.05)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return [spec_trace(name, 0.05)
+            for name in ("bwaves_like", "gcc_like", "lbm_like", "wrf_like")]
+
+
+class TestCacheKeyStability:
+    def test_same_inputs_same_key(self, trace):
+        rebuilt = spec_trace("bwaves_like", 0.05)
+        assert trace is not rebuilt
+        assert trace_signature(trace) == trace_signature(rebuilt)
+        assert (levels_job(trace, "ipcp").cache_key()
+                == levels_job(rebuilt, "ipcp").cache_key())
+
+    def test_key_depends_on_records(self, trace):
+        other = Trace(list(trace)[:-1], name=trace.name)
+        assert (levels_job(trace, "ipcp").cache_key()
+                != levels_job(other, "ipcp").cache_key())
+
+    def test_key_depends_on_config_params_and_roi(self, trace):
+        from repro.analysis import sweep_system
+
+        base = levels_job(trace, "ipcp").cache_key()
+        assert levels_job(trace, "none").cache_key() != base
+        swept = levels_job(trace, "ipcp", sweep_system(l1_pq=2))
+        assert swept.cache_key() != base
+        assert levels_job(trace, "ipcp", warmup=7).cache_key() != base
+
+    def test_alone_job_distinct_from_levels_job(self, trace):
+        from repro.sim.multicore import _multicore_params
+        from repro.params import SystemParams
+
+        params = _multicore_params(SystemParams(), 1)
+        alone = alone_ipc_job(trace, params, 100, 400, seed=1)
+        assert alone.cache_key() != levels_job(trace, "none").cache_key()
+
+    def test_specs_pickle(self, trace):
+        spec = levels_job(trace, "ipcp")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.cache_key() == spec.cache_key()
+
+
+class TestResultPickling:
+    def test_sim_result_round_trips(self, trace):
+        result = execute_job(levels_job(trace, "ipcp"))
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.ipc == result.ipc
+        assert clone.l1_prefetcher.name == "ipcp"
+        assert clone.l1_prefetcher.storage_bits > 0
+        assert isinstance(clone.l1_prefetcher.stats, dict)
+
+    def test_no_live_prefetcher_objects(self, trace):
+        from repro.prefetchers.base import PrefetcherSummary
+
+        result = execute_job(levels_job(trace, "ipcp"))
+        assert isinstance(result.l1_prefetcher, PrefetcherSummary)
+        assert isinstance(result.l2_prefetcher, PrefetcherSummary)
+
+
+class TestParallelDeterminism:
+    def test_jobs1_and_jobs4_bit_identical(self, suite):
+        specs = [levels_job(t, config)
+                 for t in suite for config in ("none", "ipcp")]
+        sequential = SimulationRunner(jobs=1).run(specs)
+        parallel = SimulationRunner(jobs=4).run(specs)
+        assert len(sequential) == len(parallel) == len(specs)
+        for seq, par in zip(sequential, parallel):
+            assert pickle.dumps(seq) == pickle.dumps(par)
+
+    def test_duplicate_specs_run_once(self, trace):
+        runner = SimulationRunner(jobs=1)
+        spec = levels_job(trace, "none")
+        first, second = runner.run([spec, spec])
+        assert runner.simulations_run == 1
+        assert first is second
+
+    def test_run_rejects_bad_job_count(self):
+        with pytest.raises(ReproError):
+            SimulationRunner(jobs=0)
+
+
+class TestPersistentCache:
+    def test_second_pass_performs_zero_simulations(self, suite, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        configs = ["none", "ipcp"]
+
+        cold = ExperimentRunner(suite, cache_dir=cache_dir)
+        cold_table = cold.speedup_table(["ipcp"])
+        assert cold.simulations_run == len(suite) * len(configs)
+
+        warm = ExperimentRunner(suite, cache_dir=cache_dir)
+        warm_table = warm.speedup_table(["ipcp"])
+        assert warm.simulations_run == 0
+        assert warm_table == cold_table
+
+    def test_cached_result_bit_identical(self, trace, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        spec = levels_job(trace, "ipcp")
+        fresh = SimulationRunner(cache=cache).run_one(spec)
+        replay = SimulationRunner(cache=cache).run_one(spec)
+        assert pickle.dumps(fresh) == pickle.dumps(replay)
+
+    def test_poisoned_entry_recomputed(self, trace, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        spec = levels_job(trace, "none")
+        reference = SimulationRunner(cache=cache).run_one(spec)
+
+        entry = cache._entry_path(spec.cache_key())
+        with open(entry, "wb") as fh:
+            fh.write(b"RPRC1\n" + b"\x00" * 16 + b"garbage payload")
+
+        runner = SimulationRunner(cache=cache)
+        recovered = runner.run_one(spec)
+        assert runner.simulations_run == 1
+        assert cache.corrupt == 1
+        assert pickle.dumps(recovered) == pickle.dumps(reference)
+
+    def test_truncated_entry_recomputed(self, trace, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        spec = levels_job(trace, "none")
+        SimulationRunner(cache=cache).run_one(spec)
+
+        entry = cache._entry_path(spec.cache_key())
+        with open(entry, "rb") as fh:
+            blob = fh.read()
+        with open(entry, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+
+        runner = SimulationRunner(cache=cache)
+        runner.run_one(spec)
+        assert runner.simulations_run == 1
+
+    def test_len_counts_entries(self, trace, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        assert len(cache) == 0
+        SimulationRunner(cache=cache).run([
+            levels_job(trace, "none"), levels_job(trace, "ipcp"),
+        ])
+        assert len(cache) == 2
+
+
+class TestMulticoreAloneRuns:
+    def test_alone_ipcs_cached_across_mixes(self, tmp_path):
+        traces = [spec_trace("bwaves_like", 0.05),
+                  spec_trace("gcc_like", 0.05)]
+        cache = ResultCache(str(tmp_path / "cache"))
+
+        cold_runner = SimulationRunner(cache=cache)
+        cold = simulate_mix(traces, warmup=500, roi=2_000,
+                            runner=cold_runner)
+        assert cold_runner.simulations_run == len(traces)
+
+        warm_runner = SimulationRunner(cache=cache)
+        warm = simulate_mix(traces, warmup=500, roi=2_000,
+                            runner=warm_runner)
+        assert warm_runner.simulations_run == 0
+        assert warm.ipc_alone == cold.ipc_alone
+        assert warm.weighted_speedup == cold.weighted_speedup
+
+
+class TestExecuteJob:
+    def test_unknown_kind_raises(self, trace):
+        spec = JobSpec(
+            kind="bogus",
+            trace_name=trace.name,
+            config_name="none",
+            trace_sig=trace_signature(trace),
+            records=tuple(trace),
+        )
+        with pytest.raises(ReproError):
+            execute_job(spec)
+
+
+class TestFigureHelperDeterminism:
+    """Every figure helper rewired onto the runner must produce results
+    independent of the worker count."""
+
+    def test_speedup_table_jobs_invariant(self, suite):
+        table1 = ExperimentRunner(suite, jobs=1).speedup_table(["ipcp"])
+        table2 = ExperimentRunner(suite, jobs=2).speedup_table(["ipcp"])
+        assert table1 == table2
+
+    def test_run_sweep_jobs_invariant(self, suite):
+        from repro.analysis import run_sweep, sweep_dram_bandwidth
+
+        params_list = sweep_dram_bandwidth([3.2, 25.0])
+        assert (run_sweep(suite[:2], ["ipcp"], params_list, jobs=1)
+                == run_sweep(suite[:2], ["ipcp"], params_list, jobs=2))
+
+    def test_simulate_mix_alone_runs_jobs_invariant(self):
+        traces = [spec_trace("bwaves_like", 0.05),
+                  spec_trace("gcc_like", 0.05)]
+        seq = simulate_mix(traces, warmup=500, roi=2_000,
+                           runner=SimulationRunner(jobs=1))
+        par = simulate_mix(traces, warmup=500, roi=2_000,
+                           runner=SimulationRunner(jobs=2))
+        assert seq.ipc_alone == par.ipc_alone
+        assert seq.ipc_together == par.ipc_together
