@@ -251,6 +251,92 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.verify.golden import (
+        DEFAULT_BASELINE_PATH,
+        GOLDEN_SCALE,
+        GOLDEN_WORKLOADS,
+        collect_golden_stats,
+        compare_to_baseline,
+        load_baseline,
+        save_baseline,
+    )
+    from repro.verify.invariants import run_invariant_sweep
+    from repro.verify.lockstep import run_lockstep_suite
+    from repro.workloads import full_suite
+
+    failed = False
+
+    if not args.skip_oracle:
+        print("== oracle lockstep diff (production IpcpL1 vs naive models) ==")
+        reports = run_lockstep_suite()
+        for report in reports:
+            if not report.ok:
+                failed = True
+                print(report.describe())
+        matched = sum(r.requests for r in reports)
+        accesses = sum(r.accesses for r in reports)
+        if all(r.ok for r in reports):
+            print(f"OK — {len(reports)} lockstep cells, {accesses} accesses, "
+                  f"{matched} matching prefetches")
+
+    if not args.skip_invariants:
+        print("== runtime invariants (all prefetchers x full suite) ==")
+        reports = run_invariant_sweep(full_suite(scale=args.invariant_scale))
+        bad = [r for r in reports if not r.ok]
+        for report in bad[:10]:
+            failed = True
+            print(report.describe())
+        if not bad:
+            accesses = sum(r.accesses for r in reports)
+            requests = sum(r.requests for r in reports)
+            print(f"OK — {len(reports)} (prefetcher, trace) cells, "
+                  f"{accesses} accesses, {requests} requests audited")
+
+    if not args.skip_golden:
+        print("== golden-stats regression ==")
+        runner = make_backend(args)
+        if args.update_baseline:
+            workloads = tuple(
+                args.workloads.split(",") if args.workloads
+                else GOLDEN_WORKLOADS
+            )
+            prefetchers = (
+                args.prefetchers.split(",") if args.prefetchers else None
+            )
+            scale = args.scale if args.scale is not None else GOLDEN_SCALE
+            document = collect_golden_stats(
+                workloads=workloads, prefetchers=prefetchers,
+                scale=scale, runner=runner,
+            )
+            save_baseline(document, args.baseline)
+            print(f"wrote {len(document['cells'])} cells to {args.baseline}")
+        else:
+            baseline = load_baseline(args.baseline)
+            current = collect_golden_stats(
+                workloads=tuple(baseline["workloads"]),
+                prefetchers=list(baseline["prefetchers"]),
+                scale=baseline["scale"],
+                runner=runner,
+            )
+            drifts = compare_to_baseline(
+                current, baseline, rel_tol=args.tolerance
+            )
+            for drift in drifts[:20]:
+                failed = True
+                print(drift.describe())
+            if drifts and len(drifts) > 20:
+                print(f"... and {len(drifts) - 20} more drifting metrics")
+            if not drifts:
+                print(f"OK — {len(current['cells'])} cells match "
+                      f"{args.baseline}")
+            else:
+                print("drift detected; if intentional, re-baseline with "
+                      "`python -m repro verify --update-baseline`")
+
+    return 1 if failed else 0
+
+
 def cmd_mix(args) -> int:
     traces = homogeneous_mix(args.workload, args.cores, scale=args.scale)
     levels = make_prefetcher(args.prefetcher)
@@ -359,6 +445,42 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scale", type=float, default=0.4)
     add_runner_options(report)
     report.set_defaults(func=cmd_report)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential verification: oracle diff, invariants, "
+             "golden-stats regression (see docs/verification.md)")
+    verify.add_argument("--baseline", default="tests/data/golden_stats.json",
+                        metavar="PATH",
+                        help="golden-stats baseline JSON (committed)")
+    verify.add_argument("--update-baseline", action="store_true",
+                        help="re-snapshot the golden baseline instead of "
+                             "comparing against it")
+    verify.add_argument("--tolerance", type=float, default=0.0,
+                        metavar="REL",
+                        help="allowed relative drift per metric "
+                             "(default 0: exact — the simulator is "
+                             "deterministic)")
+    verify.add_argument("--workloads", default=None,
+                        help="baseline workload grid (comma-separated; "
+                             "only with --update-baseline)")
+    verify.add_argument("--prefetchers", default=None,
+                        help="baseline prefetcher grid (comma-separated; "
+                             "only with --update-baseline; default: all "
+                             "registered)")
+    verify.add_argument("--scale", type=float, default=None,
+                        help="baseline workload scale (only with "
+                             "--update-baseline)")
+    verify.add_argument("--invariant-scale", type=float, default=0.08,
+                        help="workload scale for the invariant sweep")
+    verify.add_argument("--skip-oracle", action="store_true",
+                        help="skip the oracle lockstep diff")
+    verify.add_argument("--skip-invariants", action="store_true",
+                        help="skip the runtime-invariant sweep")
+    verify.add_argument("--skip-golden", action="store_true",
+                        help="skip the golden-stats regression")
+    add_runner_options(verify)
+    verify.set_defaults(func=cmd_verify)
 
     mix = sub.add_parser("mix", help="homogeneous multicore mix")
     mix.add_argument("--workload", required=True)

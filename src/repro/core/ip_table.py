@@ -19,13 +19,28 @@ from dataclasses import dataclass, field
 
 from repro.params import LINES_PER_PAGE, page_of, page_offset_line
 
-STRIDE_MAX = 63  # 7-bit signed stride field
+STRIDE_MAX = 63  # 7-bit signed stride field saturates at +63 ...
+STRIDE_MIN = -63  # ... and symmetrically at -63 (never the wire's -64)
 SIGNATURE_MASK = 0x7F  # 7-bit CPLX signature
 
 
 def clamp_stride(stride: int) -> int:
-    """Clamp a line stride into the 7-bit signed hardware field."""
-    return max(-STRIDE_MAX, min(STRIDE_MAX, stride))
+    """Saturate a line stride into the 7-bit signed hardware field.
+
+    The wire format is two's complement, so it *can* represent -64, but
+    the saturation range is deliberately the symmetric [-63, +63]:
+
+    * a +-64-line stride always leaves the trigger's 4 KB page (64
+      lines), so no prefetch a -64 stride could describe would ever be
+      issued — the asymmetric extreme buys nothing;
+    * symmetric saturation keeps negation closed (``clamp(-s) ==
+      -clamp(s)``), so CS confidence duels and the CSPT signature hash
+      treat forward and backward walks of the same loop identically.
+
+    :func:`repro.core.metadata.decode_metadata` still decodes a raw
+    0x40 field as -64 (the wire meaning), but no encoder produces it.
+    """
+    return max(STRIDE_MIN, min(STRIDE_MAX, stride))
 
 
 @dataclass

@@ -23,7 +23,15 @@ class MetaClass(IntEnum):
 
 
 def encode_metadata(meta_class: MetaClass, stride: int = 0) -> int:
-    """Pack (class, stride/direction) into the 9-bit wire format."""
+    """Pack (class, stride/direction) into the 9-bit wire format.
+
+    The stride saturates into the symmetric [-63, +63] range (see
+    :func:`repro.core.ip_table.clamp_stride` for why -64 is excluded
+    even though the two's-complement field can hold it), so
+    ``decode_metadata(encode_metadata(c, s))`` round-trips exactly for
+    every stride in that range and ``encode_metadata(c, -64) ==
+    encode_metadata(c, -63)``.
+    """
     stride = clamp_stride(stride)
     return (int(meta_class) << 7) | (stride & SIGNATURE_MASK)
 

@@ -1,0 +1,54 @@
+"""Differential verification tooling for the IPCP reproduction.
+
+Three independent safety nets, each catching a different failure mode
+of future refactors and performance work:
+
+* :mod:`repro.verify.oracles` + :mod:`repro.verify.lockstep` — small,
+  deliberately naive executable models of the paper's mechanisms
+  (CS/CPLX/GS classifiers, RR filter, per-class throttles), stepped in
+  lockstep with the production :class:`repro.core.ipcp_l1.IpcpL1` and
+  diffed per access.  Catches semantic drift in the hot-path code even
+  when it barely moves aggregate statistics.
+* :mod:`repro.verify.invariants` — a wrapper asserting runtime
+  invariants (page containment, RR capacity, metadata width, Table I
+  storage budgets, throttle ranges) on every prefetch any
+  :class:`~repro.prefetchers.base.Prefetcher` issues.
+* :mod:`repro.verify.golden` — a golden-stats regression harness that
+  snapshots key metrics for every registered prefetcher over a fixed
+  workload grid into a committed JSON baseline and fails on drift.
+
+``python -m repro verify`` runs all three; see docs/verification.md.
+"""
+
+from repro.verify.golden import (
+    GOLDEN_WORKLOADS,
+    collect_golden_stats,
+    compare_to_baseline,
+    golden_prefetchers,
+    load_baseline,
+    save_baseline,
+)
+from repro.verify.invariants import (
+    InvariantError,
+    InvariantChecker,
+    InvariantViolation,
+)
+from repro.verify.lockstep import Divergence, LockstepDiffer, LockstepReport
+from repro.verify.oracles import OracleDecision, OracleIpcpL1
+
+__all__ = [
+    "Divergence",
+    "GOLDEN_WORKLOADS",
+    "InvariantChecker",
+    "InvariantError",
+    "InvariantViolation",
+    "LockstepDiffer",
+    "LockstepReport",
+    "OracleDecision",
+    "OracleIpcpL1",
+    "collect_golden_stats",
+    "compare_to_baseline",
+    "golden_prefetchers",
+    "load_baseline",
+    "save_baseline",
+]

@@ -1,0 +1,197 @@
+"""Golden-stats regression harness.
+
+Snapshots the key simulation metrics — IPC, coverage, accuracy,
+prefetch counts, DRAM traffic, plus every prefetcher counter — for a
+fixed (workload x registered-prefetcher) grid into a committed JSON
+baseline, and compares fresh runs against it.  The simulator is fully
+deterministic, so with unchanged code the comparison is *exact*; any
+drift is a semantic change that either is a bug or deserves an explicit
+``repro verify --update-baseline`` commit.
+
+Runs go through :class:`repro.runner.SimulationRunner`, so a verify
+pass fans out across worker processes and replays from the persistent
+result cache; the cache key already includes a digest of the simulator
+sources, which means a mutated ``repro.core`` can never satisfy the
+baseline from stale cached results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.prefetchers import available_prefetchers
+from repro.runner import SimulationRunner, levels_job
+from repro.sim.engine import SimResult
+from repro.workloads import spec_trace
+
+BASELINE_SCHEMA = 1
+DEFAULT_BASELINE_PATH = os.path.join("tests", "data", "golden_stats.json")
+
+# The grid: one workload per dominant pattern class (stream / mixed
+# strides / irregular pointer chasing / complex strides) so every
+# classifier contributes, times every registered configuration.
+GOLDEN_WORKLOADS = ("bwaves_like", "gcc_like", "mcf_i_like", "wrf_like")
+GOLDEN_SCALE = 0.15
+
+
+def golden_prefetchers() -> list[str]:
+    """Every registered configuration (the baseline must cover them all)."""
+    return available_prefetchers()
+
+
+def _cell_key(workload: str, config: str) -> str:
+    return f"{workload}/{config}"
+
+
+def cell_metrics(result: SimResult) -> dict:
+    """Flatten one :class:`SimResult` into the golden metric dict."""
+    metrics: dict[str, float | int] = {
+        "ipc": result.ipc,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "dram_reads": result.dram_reads,
+        "dram_writes": result.dram_writes,
+        "l1_demand_misses": result.l1.demand_misses,
+        "l1_pf_issued": result.l1.pf_issued,
+        "l1_pf_useful": result.l1.pf_useful,
+        "l1_coverage": result.l1.coverage,
+        "l1_accuracy": result.l1.accuracy,
+        "l2_pf_issued": result.l2.pf_issued,
+        "llc_demand_misses": result.llc.demand_misses,
+    }
+    for level in ("l1_prefetcher", "l2_prefetcher"):
+        summary = getattr(result, level)
+        if summary is None:
+            continue
+        prefix = "ctr_l1." if level == "l1_prefetcher" else "ctr_l2."
+        for counter, value in summary.counters:
+            metrics[prefix + counter] = value
+    return metrics
+
+
+def collect_golden_stats(
+    workloads: tuple[str, ...] = GOLDEN_WORKLOADS,
+    prefetchers: list[str] | None = None,
+    scale: float = GOLDEN_SCALE,
+    runner: SimulationRunner | None = None,
+) -> dict:
+    """Simulate the grid and return a baseline document."""
+    if prefetchers is None:
+        prefetchers = golden_prefetchers()
+    runner = runner or SimulationRunner()
+    traces = [spec_trace(name, scale) for name in workloads]
+    cells = [
+        (trace, config) for trace in traces for config in prefetchers
+    ]
+    specs = [levels_job(trace, config) for trace, config in cells]
+    results = runner.run(specs)
+    return {
+        "schema": BASELINE_SCHEMA,
+        "scale": scale,
+        "workloads": list(workloads),
+        "prefetchers": list(prefetchers),
+        "cells": {
+            _cell_key(trace.name, config): cell_metrics(result)
+            for (trace, config), result in zip(cells, results)
+        },
+    }
+
+
+def save_baseline(document: dict, path: str) -> None:
+    """Write a baseline document as stable, diff-friendly JSON."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> dict:
+    try:
+        with open(path) as fh:
+            document = json.load(fh)
+    except FileNotFoundError:
+        raise ReproError(
+            f"golden baseline {path!r} not found; create it with "
+            "`python -m repro verify --update-baseline`"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise ReproError(f"golden baseline {path!r} is corrupt: {error}") from None
+    if document.get("schema") != BASELINE_SCHEMA:
+        raise ReproError(
+            f"golden baseline {path!r} has schema "
+            f"{document.get('schema')!r}, expected {BASELINE_SCHEMA}"
+        )
+    return document
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One metric that moved outside tolerance (or a coverage gap)."""
+
+    cell: str
+    metric: str
+    baseline: float | int | None
+    current: float | int | None
+    relative: float
+
+    def describe(self) -> str:
+        if self.baseline is None:
+            return f"{self.cell}: {self.metric} missing from baseline"
+        if self.current is None:
+            return f"{self.cell}: {self.metric} missing from current run"
+        return (
+            f"{self.cell}: {self.metric} {self.baseline!r} -> "
+            f"{self.current!r} (drift {self.relative:.3%})"
+        )
+
+
+def _relative(baseline, current) -> float:
+    if baseline == current:
+        return 0.0
+    denom = max(abs(baseline), abs(current), 1e-12)
+    return abs(current - baseline) / denom
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, rel_tol: float = 0.0
+) -> list[Drift]:
+    """Diff two baseline documents; empty list means no drift.
+
+    ``rel_tol`` is the allowed relative drift per metric (0.0 = exact,
+    the right default for a deterministic simulator).  Cells present in
+    one document but not the other are always drift — a newly
+    registered prefetcher must be added to the baseline explicitly.
+    """
+    drifts: list[Drift] = []
+    base_cells: dict = baseline["cells"]
+    cur_cells: dict = current["cells"]
+    for cell in sorted(set(base_cells) | set(cur_cells)):
+        base = base_cells.get(cell)
+        cur = cur_cells.get(cell)
+        if base is None or cur is None:
+            drifts.append(Drift(
+                cell=cell, metric="(cell)",
+                baseline=None if base is None else 0,
+                current=None if cur is None else 0,
+                relative=1.0,
+            ))
+            continue
+        for metric in sorted(set(base) | set(cur)):
+            if metric not in base or metric not in cur:
+                drifts.append(Drift(
+                    cell=cell, metric=metric,
+                    baseline=base.get(metric), current=cur.get(metric),
+                    relative=1.0,
+                ))
+                continue
+            relative = _relative(base[metric], cur[metric])
+            if relative > rel_tol:
+                drifts.append(Drift(
+                    cell=cell, metric=metric,
+                    baseline=base[metric], current=cur[metric],
+                    relative=relative,
+                ))
+    return drifts

@@ -1,0 +1,383 @@
+"""Runtime invariant checking for any :class:`Prefetcher`.
+
+:class:`InvariantChecker` wraps a prefetcher and audits every response
+(and, for IPCP, the internal structures) on every access:
+
+* every prefetch stays within the trigger's 4 KB page (unless the
+  wrapped prefetcher is declared cross-page, e.g. temporal ones);
+* request addresses are non-negative, line-meaningful integers;
+* metadata fits the 9-bit wire format and its decoded stride respects
+  the symmetric [-63, +63] saturation policy (the wire's -64 must never
+  be produced by an encoder);
+* per-access bursts stay bounded;
+* IPCP structure audits: the RR filter never exceeds its entry count,
+  per-class throttle accuracy stays in [0, 1] and degree in
+  [1, default], CSPT confidences stay 2-bit, the RST stays within its
+  capacity with direction counters in 6-bit range, and the declared
+  ``storage_bits`` match the Table I recomputation
+  (:func:`repro.core.storage.ipcp_storage_report`).
+
+The wrapper is a drop-in :class:`Prefetcher`: it can sit inside a full
+simulation (every fill/hit callback is forwarded) or be driven directly
+over a trace with :func:`check_invariants`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ip_table import STRIDE_MAX, STRIDE_MIN
+from repro.core.ipcp_l1 import IpcpL1
+from repro.core.ipcp_l2 import IpcpL2
+from repro.core.metadata import decode_metadata
+from repro.core.storage import ipcp_storage_report
+from repro.errors import ReproError
+from repro.params import LINES_PER_PAGE
+from repro.prefetchers.base import AccessContext, AccessType, Prefetcher
+from repro.sim.trace import LOAD, STORE, Trace
+
+MAX_BURST = 64  # requests from one access beyond which we call it runaway
+
+# Registered configurations whose prefetchers legitimately cross 4 KB
+# pages (temporal prefetchers predict physical successors).
+CROSS_PAGE_PREFETCHERS = frozenset(
+    {"isb", "domino", "triage", "ipcp_temporal"}
+)
+
+
+class InvariantError(ReproError):
+    """Raised in strict mode when a runtime invariant is violated."""
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One detected invariant violation, with trigger context."""
+
+    invariant: str
+    detail: str
+    access_index: int
+    ip: int = 0
+    addr: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"[{self.invariant}] access #{self.access_index} "
+            f"ip={self.ip:#x} addr={self.addr:#x}: {self.detail}"
+        )
+
+
+class InvariantChecker(Prefetcher):
+    """Wrap ``inner`` and assert runtime invariants on every issue."""
+
+    def __init__(
+        self,
+        inner: Prefetcher,
+        allow_cross_page: bool = False,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(
+            name=inner.name, storage_bits=inner.storage_bits
+        )
+        self.inner = inner
+        self.allow_cross_page = allow_cross_page
+        self.strict = strict
+        self.violations: list[InvariantViolation] = []
+        self.accesses = 0
+        self.requests = 0
+        self.stats = inner.stats  # share the counter dict: transparent wrap
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_invariant(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.invariant] = counts.get(violation.invariant, 0) + 1
+        return counts
+
+    # ---------------------------------------------------------------- #
+    # Prefetcher interface (transparent delegation + audit)
+    # ---------------------------------------------------------------- #
+
+    def on_access(self, ctx: AccessContext):
+        index = self.accesses
+        self.accesses += 1
+        try:
+            requests = self.inner.on_access(ctx)
+        except Exception as error:  # noqa: BLE001 — audit, don't mask where
+            self._flag("no_exceptions", repr(error), index, ctx)
+            if self.strict:
+                raise
+            return []
+        self.requests += len(requests)
+        self._audit_requests(ctx, requests, index)
+        self._audit_structures(index, ctx)
+        return requests
+
+    def on_fill(self, addr, was_prefetch, metadata, evicted_addr) -> None:
+        self.inner.on_fill(addr, was_prefetch, metadata, evicted_addr)
+
+    def on_prefetch_fill(self, addr: int, pf_class: int) -> None:
+        self.inner.on_prefetch_fill(addr, pf_class)
+
+    def on_prefetch_hit(self, addr: int, pf_class: int) -> None:
+        self.inner.on_prefetch_hit(addr, pf_class)
+
+    def summary(self):
+        return self.inner.summary()
+
+    # ---------------------------------------------------------------- #
+    # Audits
+    # ---------------------------------------------------------------- #
+
+    def _flag(self, invariant: str, detail: str, index: int,
+              ctx: AccessContext | None) -> None:
+        violation = InvariantViolation(
+            invariant=invariant,
+            detail=detail,
+            access_index=index,
+            ip=ctx.ip if ctx is not None else 0,
+            addr=ctx.addr if ctx is not None else 0,
+        )
+        self.violations.append(violation)
+        if self.strict:
+            raise InvariantError(violation.describe())
+
+    def _audit_requests(self, ctx: AccessContext, requests, index: int) -> None:
+        if len(requests) > MAX_BURST:
+            self._flag(
+                "burst_bound",
+                f"{len(requests)} requests from one access (> {MAX_BURST})",
+                index, ctx,
+            )
+        trigger_page = (ctx.addr >> 6) // LINES_PER_PAGE
+        for request in requests:
+            addr = request.addr
+            if not isinstance(addr, int) or addr < 0:
+                self._flag("address_domain", f"addr={addr!r}", index, ctx)
+                continue
+            if not self.allow_cross_page:
+                page = (addr >> 6) // LINES_PER_PAGE
+                if page != trigger_page:
+                    self._flag(
+                        "page_containment",
+                        f"trigger page {trigger_page:#x} -> "
+                        f"request page {page:#x}",
+                        index, ctx,
+                    )
+            if not 0 <= request.metadata < 512:
+                self._flag(
+                    "metadata_width",
+                    f"metadata {request.metadata} exceeds 9 bits",
+                    index, ctx,
+                )
+            else:
+                _, stride = decode_metadata(request.metadata)
+                if not STRIDE_MIN <= stride <= STRIDE_MAX:
+                    self._flag(
+                        "stride_saturation",
+                        f"metadata stride {stride} outside "
+                        f"[{STRIDE_MIN}, {STRIDE_MAX}]",
+                        index, ctx,
+                    )
+            if request.pf_class < 0:
+                self._flag(
+                    "class_domain", f"pf_class={request.pf_class}", index, ctx
+                )
+
+    def _audit_structures(self, index: int, ctx: AccessContext) -> None:
+        inner = self.inner
+        if isinstance(inner, IpcpL1):
+            self._audit_ipcp_l1(inner, index, ctx)
+        elif isinstance(inner, IpcpL2):
+            self._audit_ipcp_l2(inner, index, ctx)
+
+    def _audit_ipcp_l1(self, pf: IpcpL1, index: int, ctx) -> None:
+        cfg = pf.config
+        if len(pf.rr_filter) > cfg.rr_entries:
+            self._flag(
+                "rr_capacity",
+                f"RR filter holds {len(pf.rr_filter)} > {cfg.rr_entries}",
+                index, ctx,
+            )
+        if len(pf.rst._table) > cfg.rst_entries:
+            self._flag(
+                "rst_capacity",
+                f"RST holds {len(pf.rst._table)} > {cfg.rst_entries}",
+                index, ctx,
+            )
+        for entry in pf.rst._table.values():
+            if not 0 <= entry.pos_neg_count <= 63:
+                self._flag(
+                    "rst_direction_counter",
+                    f"pos/neg counter {entry.pos_neg_count} outside 6 bits",
+                    index, ctx,
+                )
+        for pf_class, throttle in pf.throttles.items():
+            if not 0.0 <= throttle.accuracy <= 1.0:
+                self._flag(
+                    "epoch_accuracy",
+                    f"{pf_class.name} accuracy {throttle.accuracy} "
+                    "outside [0, 1]",
+                    index, ctx,
+                )
+            if not 1 <= throttle.degree <= throttle.default_degree:
+                self._flag(
+                    "throttle_degree",
+                    f"{pf_class.name} degree {throttle.degree} outside "
+                    f"[1, {throttle.default_degree}]",
+                    index, ctx,
+                )
+        for entry in pf.cspt._table:
+            if not 0 <= entry.confidence <= 3:
+                self._flag(
+                    "cspt_confidence",
+                    f"CSPT confidence {entry.confidence} outside 2 bits",
+                    index, ctx,
+                )
+                break
+        self._audit_l1_storage(pf, index, ctx)
+
+    def _audit_l1_storage(self, pf: IpcpL1, index: int, ctx) -> None:
+        cfg = pf.config
+        report = ipcp_storage_report(
+            ip_table_entries=cfg.ip_table_entries,
+            cspt_entries=cfg.cspt_entries,
+            rst_entries=cfg.rst_entries,
+            rr_entries=cfg.rr_entries,
+        )
+        expected = report.l1_bits
+        if pf.temporal is not None:
+            expected += pf.temporal.storage_bits
+        if pf.storage_bits != expected:
+            self._flag(
+                "storage_budget",
+                f"declared {pf.storage_bits} bits, Table I recomputation "
+                f"says {expected}",
+                index, ctx,
+            )
+
+    def _audit_ipcp_l2(self, pf: IpcpL2, index: int, ctx) -> None:
+        report = ipcp_storage_report(l2_ip_table_entries=pf.entries)
+        if pf.storage_bits != report.l2_bits:
+            self._flag(
+                "storage_budget",
+                f"declared {pf.storage_bits} bits, Table I recomputation "
+                f"says {report.l2_bits}",
+                index, ctx,
+            )
+        for entry in pf._table:
+            if not STRIDE_MIN <= entry.stride <= STRIDE_MAX:
+                self._flag(
+                    "stride_saturation",
+                    f"L2 bookkeeping stride {entry.stride} outside "
+                    f"[{STRIDE_MIN}, {STRIDE_MAX}]",
+                    index, ctx,
+                )
+                break
+
+
+@dataclass
+class InvariantReport:
+    """Result of driving one wrapped prefetcher over one trace."""
+
+    prefetcher_name: str
+    trace_name: str
+    accesses: int
+    requests: int
+    violations: list[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        status = "OK" if self.ok else "VIOLATIONS"
+        head = (
+            f"{self.prefetcher_name} on {self.trace_name}: {status} — "
+            f"{self.accesses} accesses, {self.requests} requests"
+        )
+        if self.ok:
+            return head
+        return head + "\n" + "\n".join(
+            "  " + v.describe() for v in self.violations[:10]
+        )
+
+
+def check_invariants(
+    prefetcher: Prefetcher,
+    trace: Trace,
+    allow_cross_page: bool = False,
+    mpki: float = 20.0,
+    with_feedback: bool = True,
+) -> InvariantReport:
+    """Drive ``prefetcher`` (wrapped) over ``trace`` and collect violations.
+
+    ``with_feedback`` synthesises the cache's fill/hit callbacks the
+    same way the lockstep differ does — fills immediately, hits when a
+    later demand touches a prefetched line — so throttle state machines
+    run through real epochs while being audited.
+    """
+    checker = InvariantChecker(
+        prefetcher, allow_cross_page=allow_cross_page, strict=False
+    )
+    outstanding: dict[int, int] = {}
+    cycle = 0
+    for kind, ip, addr, _ in trace:
+        if kind not in (LOAD, STORE):
+            continue
+        cycle += 10
+        line = addr >> 6
+        if with_feedback:
+            pf_class = outstanding.pop(line, None)
+            if pf_class is not None:
+                checker.on_prefetch_hit(line << 6, pf_class)
+        ctx = AccessContext(
+            ip=ip,
+            addr=addr,
+            cache_hit=False,
+            kind=AccessType.LOAD if kind == LOAD else AccessType.STORE,
+            cycle=cycle,
+            mpki=mpki,
+        )
+        requests = checker.on_access(ctx)
+        if with_feedback:
+            for request in requests:
+                outstanding[request.addr >> 6] = request.pf_class
+                checker.on_prefetch_fill(request.addr, request.pf_class)
+    return InvariantReport(
+        prefetcher_name=prefetcher.name,
+        trace_name=trace.name,
+        accesses=checker.accesses,
+        requests=checker.requests,
+        violations=checker.violations,
+    )
+
+
+def run_invariant_sweep(
+    traces: list[Trace],
+    prefetcher_names: list[str] | None = None,
+) -> list[InvariantReport]:
+    """Audit every registered configuration, at every level, over
+    every trace.
+
+    Returns one report per (configuration, level, trace) cell; callers
+    fail when any report is not :attr:`InvariantReport.ok`.
+    """
+    from repro.prefetchers import available_prefetchers, make_prefetcher
+
+    if prefetcher_names is None:
+        prefetcher_names = available_prefetchers()
+    reports: list[InvariantReport] = []
+    for name in prefetcher_names:
+        config = make_prefetcher(name)
+        allow = name in CROSS_PAGE_PREFETCHERS
+        for level, factory in config.items():
+            for trace in traces:
+                report = check_invariants(
+                    factory(), trace, allow_cross_page=allow
+                )
+                report.prefetcher_name = f"{name}@{level}"
+                reports.append(report)
+    return reports

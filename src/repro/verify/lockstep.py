@@ -1,0 +1,197 @@
+"""Lockstep differential testing of IpcpL1 against the oracle models.
+
+:class:`LockstepDiffer` drives the production
+:class:`repro.core.ipcp_l1.IpcpL1` and the naive
+:class:`repro.verify.oracles.OracleIpcpL1` over the same access stream
+and compares the full per-access decision — the ordered list of
+``(line, class, metadata-class, metadata-stride)`` requests — stopping
+at the first divergence and reporting it with enough context (the
+trailing access window, both decision lists) to reproduce and debug it.
+
+Prefetch-accuracy feedback, which in a real run arrives from the cache,
+is synthesised deterministically and delivered to both sides
+identically: every issued prefetch is treated as filled immediately,
+and a later demand access to a prefetched line counts as a hit.  That
+keeps the throttle state machines (epoch accuracy, degree stepping,
+metadata gating) exercised rather than frozen at their optimistic
+reset state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.ipcp_l1 import IpcpL1
+from repro.core.metadata import decode_metadata
+from repro.prefetchers.base import AccessContext, AccessType
+from repro.sim.trace import LOAD, STORE, Trace
+from repro.verify.oracles import OracleDecision, OracleIpcpL1
+
+CONTEXT_WINDOW = 8  # trailing accesses reported alongside a divergence
+
+# Default lockstep workloads: streams, mixed strides, irregular pointer
+# chasing, complex strides (including negative ones — gcc/mcf/omnetpp
+# walk backwards, which several plausible mutations only disturb).
+LOCKSTEP_WORKLOADS = (
+    "bwaves_like", "gcc_like", "mcf_i_like",
+    "wrf_like", "omnetpp_like", "lbm_like",
+)
+LOCKSTEP_SCALE = 0.2
+
+Decision = tuple[tuple[int, int, int, int], ...]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First point where production and oracle disagreed."""
+
+    access_index: int  # index among demand accesses (loads/stores)
+    ip: int
+    addr: int
+    production: Decision
+    oracle: Decision
+    history: tuple[tuple[int, int], ...]  # trailing (ip, addr) window
+
+    def describe(self) -> str:
+        lines = [
+            f"divergence at demand access #{self.access_index} "
+            f"(ip={self.ip:#x}, addr={self.addr:#x}):",
+            f"  production: {_fmt(self.production)}",
+            f"  oracle:     {_fmt(self.oracle)}",
+            "  trailing accesses (ip, addr):",
+        ]
+        lines += [f"    {ip:#x} {addr:#x}" for ip, addr in self.history]
+        return "\n".join(lines)
+
+
+def _fmt(decision: Decision) -> str:
+    if not decision:
+        return "(no prefetches)"
+    return ", ".join(
+        f"line={line:#x} class={pf} meta=({mc},{ms})"
+        for line, pf, mc, ms in decision
+    )
+
+
+@dataclass
+class LockstepReport:
+    """Outcome of one lockstep run."""
+
+    trace_name: str
+    accesses: int
+    requests: int
+    divergence: Divergence | None = None
+    matched_decisions: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"{self.trace_name}: OK — {self.accesses} accesses, "
+                f"{self.requests} matching prefetches"
+            )
+        return f"{self.trace_name}: FAIL\n{self.divergence.describe()}"
+
+
+@dataclass
+class LockstepDiffer:
+    """Step production and oracle together; diff every decision.
+
+    ``mpki`` is held constant over the run (the production MPKI input
+    comes from the cache, which is absent here); run a trace at several
+    values to exercise both sides of the NL gate.
+    """
+
+    production: IpcpL1 = field(default_factory=IpcpL1)
+    oracle: OracleIpcpL1 = field(default_factory=OracleIpcpL1)
+    mpki: float = 20.0
+
+    def run(self, trace: Trace, max_accesses: int | None = None
+            ) -> LockstepReport:
+        report = LockstepReport(trace_name=trace.name, accesses=0, requests=0)
+        history: deque[tuple[int, int]] = deque(maxlen=CONTEXT_WINDOW)
+        outstanding: dict[int, int] = {}  # prefetched line -> pf_class
+        cycle = 0
+        for kind, ip, addr, _ in trace:
+            if kind not in (LOAD, STORE):
+                continue
+            if max_accesses is not None and report.accesses >= max_accesses:
+                break
+            index = report.accesses
+            report.accesses += 1
+            history.append((ip, addr))
+            cycle += 10
+
+            # Deliver the synthetic demand-hit feedback first, so both
+            # sides see identical throttle state for this access.
+            line = addr >> 6
+            pf_class = outstanding.pop(line, None)
+            if pf_class is not None:
+                self.production.on_prefetch_hit(line << 6, pf_class)
+                self.oracle.on_prefetch_hit(pf_class)
+
+            ctx = AccessContext(
+                ip=ip,
+                addr=addr,
+                cache_hit=False,
+                kind=AccessType.LOAD if kind == LOAD else AccessType.STORE,
+                cycle=cycle,
+                mpki=self.mpki,
+            )
+            produced = tuple(
+                (req.addr >> 6, req.pf_class, *decode_metadata(req.metadata))
+                for req in self.production.on_access(ctx)
+            )
+            expected: OracleDecision = self.oracle.step(ip, addr, self.mpki)
+
+            if produced != expected.requests:
+                report.divergence = Divergence(
+                    access_index=index,
+                    ip=ip,
+                    addr=addr,
+                    production=produced,
+                    oracle=expected.requests,
+                    history=tuple(history),
+                )
+                return report
+
+            report.matched_decisions += 1
+            report.requests += len(produced)
+            # Every issued prefetch "fills" immediately on both sides.
+            for target, pf_class, _, _ in produced:
+                outstanding[target] = pf_class
+                self.production.on_prefetch_fill(target << 6, pf_class)
+                self.oracle.on_prefetch_fill(pf_class)
+        return report
+
+
+def run_lockstep_suite(
+    traces: list[Trace] | None = None,
+    mpki_values: tuple[float, ...] = (10.0, 60.0),
+    max_accesses: int | None = None,
+    scale: float = LOCKSTEP_SCALE,
+) -> list[LockstepReport]:
+    """Diff fresh production/oracle pairs over every (trace, mpki) cell.
+
+    Two MPKI operating points cover both sides of the NL gate (the
+    paper's threshold is 50 MPKI at the L1).  With no traces given, the
+    :data:`LOCKSTEP_WORKLOADS` suite is generated at ``scale``.
+    """
+    if traces is None:
+        from repro.workloads import spec_trace
+
+        traces = [spec_trace(name, scale) for name in LOCKSTEP_WORKLOADS]
+    reports = []
+    for trace in traces:
+        for mpki in mpki_values:
+            differ = LockstepDiffer(
+                production=IpcpL1(), oracle=OracleIpcpL1(), mpki=mpki
+            )
+            report = differ.run(trace, max_accesses=max_accesses)
+            report.trace_name = f"{trace.name}@mpki{mpki:g}"
+            reports.append(report)
+    return reports

@@ -1,0 +1,429 @@
+"""Naive executable oracle models of the IPCP L1 mechanisms.
+
+These are *independent* re-implementations of the paper's Section IV-V
+mechanisms, written for obviousness rather than speed: plain lists and
+dicts, no shared code with :mod:`repro.core` beyond the published
+constants.  The production :class:`repro.core.ipcp_l1.IpcpL1` inlines,
+caches and hoists for throughput; the oracle spells every rule out.
+Stepping both in lockstep (:mod:`repro.verify.lockstep`) and diffing
+their per-access decisions is the safety net that lets future perf PRs
+rewrite the hot path freely.
+
+Each mechanism is its own small class so a divergence can be localised:
+
+* :class:`OracleRrFilter` — 32-entry FIFO of 12-bit partial tags;
+* :class:`OracleIpTable` — 64-entry direct-mapped table with the
+  hysteresis replacement duel;
+* :class:`OracleCsClassifier` — constant-stride confidence training;
+* :class:`OracleCplxClassifier` — signature-indexed CSPT;
+* :class:`OracleGsClassifier` — region stream table with density,
+  direction and tentative promotion;
+* :class:`OracleThrottle` — 256-fill epoch accuracy/degree controller;
+* :class:`OracleIpcpL1` — the bouquet walk tying them together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Published constants only — geometry from the paper, not from the
+# production implementation's internals.
+LINE_SHIFT = 6
+LINES_PER_PAGE = 64  # 4 KB page / 64 B lines
+LINES_PER_REGION = 32  # 2 KB GS region
+STRIDE_LIMIT = 63  # symmetric 7-bit saturation (see core.ip_table)
+SIG_MASK = 0x7F
+EPOCH_FILLS = 256
+HIGH_WATERMARK = 0.75
+LOW_WATERMARK = 0.40
+
+CLASS_NONE, CLASS_CS, CLASS_CPLX, CLASS_GS, CLASS_NL = 0, 1, 2, 3, 4
+META_NONE, META_CS, META_GS, META_NL = 0, 1, 2, 3
+
+# Bouquet priority and the 2-bit metadata class each bouquet class
+# encodes to (CPLX is never replayed at the L2, so it sends "none").
+PRIORITY = (CLASS_GS, CLASS_CS, CLASS_CPLX, CLASS_NL)
+META_OF_CLASS = {
+    CLASS_CS: META_CS,
+    CLASS_GS: META_GS,
+    CLASS_NL: META_NL,
+    CLASS_CPLX: META_NONE,
+}
+
+
+def saturate_stride(stride: int) -> int:
+    """Symmetric [-63, +63] saturation of a line stride."""
+    if stride > STRIDE_LIMIT:
+        return STRIDE_LIMIT
+    if stride < -STRIDE_LIMIT:
+        return -STRIDE_LIMIT
+    return stride
+
+
+@dataclass(frozen=True)
+class OracleDecision:
+    """What the oracle decided for one access: the ordered request list.
+
+    Each element is ``(line, pf_class, meta_class, meta_stride)`` — the
+    prefetched cache line, the bouquet class that claimed it, and the
+    decoded content of the 9-bit metadata packet it would carry.
+    """
+
+    requests: tuple[tuple[int, int, int, int], ...]
+
+
+class OracleRrFilter:
+    """Recent-request filter: FIFO list of 12-bit partial line tags."""
+
+    def __init__(self, entries: int = 32, tag_bits: int = 12) -> None:
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.tags: list[int] = []
+
+    def tag_of(self, line: int) -> int:
+        return (line ^ (line >> 12)) & ((1 << self.tag_bits) - 1)
+
+    def remember(self, line: int) -> None:
+        self.tags.append(self.tag_of(line))
+        while len(self.tags) > self.entries:
+            self.tags.pop(0)
+
+    def should_drop(self, line: int) -> bool:
+        """Probe-then-record: True when the prefetch must be dropped."""
+        if self.tag_of(line) in self.tags:
+            return True
+        self.remember(line)
+        return False
+
+
+@dataclass
+class _IpState:
+    """Everything the shared IP-table entry remembers about one IP."""
+
+    tag: int
+    valid: bool = True
+    seen: bool = True
+    last_vpage2: int = 0  # 2 LSBs of the last virtual page
+    last_offset: int = 0  # last line offset within the page (0..63)
+    last_line: int = 0  # full last line (simulation shadow, 0 = unseen)
+    stride: int = 0
+    confidence: int = 0
+    stream_valid: bool = False
+    direction: int = 1
+    signature: int = 0
+
+
+class OracleIpTable:
+    """Direct-mapped IP table with the paper's hysteresis duel."""
+
+    def __init__(self, entries: int = 64, tag_bits: int = 9) -> None:
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.index_bits = entries.bit_length() - 1
+        self.slots: list[_IpState | None] = [None] * entries
+
+    def access(self, ip: int) -> _IpState | None:
+        """Hysteresis lookup: owner hit, challenger clears, or takeover."""
+        index = ip % self.entries
+        tag = (ip >> self.index_bits) & ((1 << self.tag_bits) - 1)
+        slot = self.slots[index]
+        if slot is not None and slot.tag == tag:
+            slot.valid = True
+            return slot
+        if slot is not None and slot.valid:
+            slot.valid = False  # incumbent survives the first challenge
+            return None
+        fresh = _IpState(tag=tag)
+        self.slots[index] = fresh
+        return fresh
+
+
+class OracleCsClassifier:
+    """Constant-stride training: 2-bit confidence duel on the stride."""
+
+    @staticmethod
+    def observe_stride(state: _IpState, vaddr: int) -> int:
+        """Page-offset stride of this access vs the entry's previous one."""
+        offset = (vaddr >> LINE_SHIFT) % LINES_PER_PAGE
+        vpage2 = (vaddr >> 12) % 4
+        stride = offset - state.last_offset
+        if vpage2 != state.last_vpage2:
+            page_step = (vpage2 - state.last_vpage2) % 4
+            if page_step == 1:
+                stride += LINES_PER_PAGE
+            elif page_step == 3:
+                stride -= LINES_PER_PAGE
+            else:
+                stride = 0  # non-adjacent page jump: meaningless
+        return saturate_stride(stride)
+
+    @staticmethod
+    def train(state: _IpState, stride: int) -> None:
+        if stride == state.stride:
+            state.confidence = min(3, state.confidence + 1)
+        else:
+            state.confidence = max(0, state.confidence - 1)
+            if state.confidence == 0:
+                state.stride = stride
+
+    @staticmethod
+    def eligible(state: _IpState) -> bool:
+        return state.confidence >= 2 and state.stride != 0
+
+    @staticmethod
+    def deltas(state: _IpState, degree: int) -> list[int]:
+        return [state.stride * k for k in range(1, degree + 1)]
+
+
+class OracleCplxClassifier:
+    """Signature-indexed complex-stride table (CSPT)."""
+
+    def __init__(self, entries: int = 128) -> None:
+        self.entries = entries
+        self.strides = [0] * entries
+        self.confidence = [0] * entries
+
+    @staticmethod
+    def next_signature(signature: int, stride: int) -> int:
+        return ((signature << 1) ^ (stride & SIG_MASK)) & SIG_MASK
+
+    def train(self, signature: int, stride: int) -> None:
+        stride = saturate_stride(stride)
+        index = signature % self.entries
+        if self.strides[index] == stride and stride != 0:
+            self.confidence[index] = min(3, self.confidence[index] + 1)
+        else:
+            self.confidence[index] = max(0, self.confidence[index] - 1)
+            if self.confidence[index] == 0:
+                self.strides[index] = stride
+
+    def deltas(self, signature: int, degree: int) -> list[int]:
+        """Roll the signature forward while predictions stay confident."""
+        out: list[int] = []
+        total = 0
+        for _ in range(degree):
+            index = signature % self.entries
+            stride = self.strides[index]
+            if self.confidence[index] < 1 or stride == 0:
+                break
+            total += stride
+            out.append(total)
+            signature = self.next_signature(signature, stride)
+        return out
+
+
+@dataclass
+class _RegionState:
+    """Per-2KB-region stream state (the paper's 53-bit RST entry)."""
+
+    touched: set[int] = field(default_factory=set)
+    last_offset: int = 0
+    counter: int = 32  # 6-bit direction counter, midpoint start
+    trained: bool = False
+    tentative: bool = False
+    direction: int = 1
+
+
+class OracleGsClassifier:
+    """Region stream table: density training + tentative promotion."""
+
+    TRAIN_THRESHOLD = 24  # 75% of a region's 32 lines
+
+    def __init__(self, entries: int = 8) -> None:
+        self.entries = entries
+        self.regions: dict[int, _RegionState] = {}  # insertion = LRU order
+
+    def observe(self, region: int, offset: int,
+                previous_region: int | None) -> _RegionState:
+        state = self.regions.pop(region, None)
+        if state is None:
+            tentative = False
+            if previous_region is not None and previous_region != region:
+                prev = self.regions.get(previous_region)
+                tentative = prev is not None and prev.trained
+            state = _RegionState(tentative=tentative, last_offset=offset)
+            while len(self.regions) >= self.entries:
+                del self.regions[next(iter(self.regions))]
+        self.regions[region] = state  # (re)insert at MRU position
+
+        if offset not in state.touched:
+            state.touched.add(offset)
+            if len(state.touched) >= self.TRAIN_THRESHOLD:
+                state.trained = True
+        step = offset - state.last_offset
+        if step > 0:
+            state.counter = min(63, state.counter + 1)
+        elif step < 0:
+            state.counter = max(0, state.counter - 1)
+        state.direction = 1 if state.counter >= 32 else -1
+        state.last_offset = offset
+        return state
+
+
+class OracleThrottle:
+    """Per-class epoch accuracy throttle (256 fills per epoch)."""
+
+    def __init__(self, default_degree: int) -> None:
+        self.default_degree = default_degree
+        self.degree = default_degree
+        self.fills = 0
+        self.hits = 0
+        self.accuracy = 1.0  # optimistic until the first epoch closes
+
+    def on_fill(self) -> None:
+        self.fills += 1
+        if self.fills >= EPOCH_FILLS:
+            self.accuracy = self.hits / self.fills
+            if self.accuracy > HIGH_WATERMARK:
+                self.degree = min(self.default_degree, self.degree + 1)
+            elif self.accuracy < LOW_WATERMARK:
+                self.degree = max(1, self.degree - 1)
+            self.fills = 0
+            self.hits = 0
+
+    def on_hit(self) -> None:
+        self.hits += 1
+
+
+class OracleIpcpL1:
+    """The bouquet walk, assembled from the naive mechanism models.
+
+    :meth:`step` consumes one demand access and returns the
+    :class:`OracleDecision` the paper's rules produce — train every
+    classifier, then walk GS > CS > CPLX > NL issuing for the first
+    class the IP belongs to (continuing past low-accuracy classes),
+    page-bounded and RR-filtered, each request carrying its metadata.
+    """
+
+    def __init__(
+        self,
+        cs_degree: int = 3,
+        cplx_degree: int = 3,
+        gs_degree: int = 6,
+        nl_mpki_threshold: float = 50.0,
+        ip_table_entries: int = 64,
+        cspt_entries: int = 128,
+        rst_entries: int = 8,
+        rr_entries: int = 32,
+        throttling: bool = True,
+    ) -> None:
+        self.nl_mpki_threshold = nl_mpki_threshold
+        self.throttling = throttling
+        self.ip_table = OracleIpTable(entries=ip_table_entries)
+        self.cs = OracleCsClassifier()
+        self.cplx = OracleCplxClassifier(entries=cspt_entries)
+        self.gs = OracleGsClassifier(entries=rst_entries)
+        self.rr = OracleRrFilter(entries=rr_entries)
+        self.throttles = {
+            CLASS_CS: OracleThrottle(cs_degree),
+            CLASS_CPLX: OracleThrottle(cplx_degree),
+            CLASS_GS: OracleThrottle(gs_degree),
+            CLASS_NL: OracleThrottle(1),
+        }
+
+    # ---------------------------------------------------------------- #
+    # Feedback (mirrors the cache's fill/hit callbacks)
+    # ---------------------------------------------------------------- #
+
+    def on_prefetch_fill(self, pf_class: int) -> None:
+        throttle = self.throttles.get(pf_class)
+        if throttle is not None:
+            throttle.on_fill()
+
+    def on_prefetch_hit(self, pf_class: int) -> None:
+        throttle = self.throttles.get(pf_class)
+        if throttle is not None:
+            throttle.on_hit()
+
+    # ---------------------------------------------------------------- #
+    # One demand access
+    # ---------------------------------------------------------------- #
+
+    def step(self, ip: int, vaddr: int, mpki: float = 0.0) -> OracleDecision:
+        line = vaddr >> LINE_SHIFT
+        self.rr.remember(line)
+
+        state = self.ip_table.access(ip)
+
+        # GS trains on every access, tracked IP or not.
+        previous_region = None
+        if state is not None and state.last_line:
+            previous_region = state.last_line // LINES_PER_REGION
+        region_state = self.gs.observe(
+            line // LINES_PER_REGION, line % LINES_PER_REGION, previous_region
+        )
+
+        # CS + CPLX train only once the IP has a previous access.
+        stride = 0
+        if state is not None and state.last_line:
+            stride = self.cs.observe_stride(state, vaddr)
+            if stride != 0:
+                self.cs.train(state, stride)
+                self.cplx.train(state.signature, stride)
+                state.signature = self.cplx.next_signature(
+                    state.signature, stride
+                )
+
+        if state is not None:
+            if region_state.trained or region_state.tentative:
+                state.stream_valid = True
+                state.direction = region_state.direction
+            else:
+                state.stream_valid = False
+            state.last_vpage2 = (vaddr >> 12) % 4
+            state.last_offset = (vaddr >> LINE_SHIFT) % LINES_PER_PAGE
+            state.last_line = line
+
+        return OracleDecision(tuple(self._walk(state, line, mpki)))
+
+    def _walk(self, state: _IpState | None, line: int, mpki: float
+              ) -> list[tuple[int, int, int, int]]:
+        if state is None:
+            return []  # the IP lost the hysteresis duel: issue nothing
+        requests: list[tuple[int, int, int, int]] = []
+        for pf_class in PRIORITY:
+            throttle = self.throttles[pf_class]
+            degree = throttle.degree if self.throttling else throttle.default_degree
+            if pf_class == CLASS_GS:
+                if not state.stream_valid:
+                    continue
+                deltas = [state.direction * k for k in range(1, degree + 1)]
+                meta_stride = state.direction
+            elif pf_class == CLASS_CS:
+                if not self.cs.eligible(state):
+                    continue
+                deltas = self.cs.deltas(state, degree)
+                meta_stride = state.stride
+            elif pf_class == CLASS_CPLX:
+                deltas = self.cplx.deltas(state.signature, degree)
+                meta_stride = 0
+                if not deltas:
+                    continue  # CSPT not confident: fall through to NL
+            else:  # NL
+                if mpki >= self.nl_mpki_threshold:
+                    continue
+                deltas, meta_stride = [1], 0
+            requests.extend(self._emit(pf_class, line, deltas, meta_stride))
+            if self.throttling and throttle.accuracy < LOW_WATERMARK:
+                continue  # low accuracy: let lower classes explore too
+            break
+        return requests
+
+    def _emit(self, pf_class: int, line: int, deltas: list[int],
+              meta_stride: int) -> list[tuple[int, int, int, int]]:
+        page = line // LINES_PER_PAGE
+        meta_class = META_OF_CLASS[pf_class]
+        # Strides ride to the L2 only while the class runs above the
+        # high accuracy watermark.
+        if self.throttles[pf_class].accuracy < HIGH_WATERMARK:
+            meta_stride = 0
+        meta_stride = saturate_stride(meta_stride)
+        out = []
+        for delta in deltas:
+            target = line + delta
+            if target < 0 or target // LINES_PER_PAGE != page:
+                continue  # spatial contract: never cross the 4 KB page
+            if self.rr.should_drop(target):
+                continue
+            out.append((target, pf_class, meta_class, meta_stride))
+        return out

@@ -1,8 +1,21 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis settings profiles for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
+
+# Property-based tests run against two registered profiles:
+#   * ``dev`` (default) — few examples, keeps the local tier-1 loop fast;
+#   * ``ci`` — many more examples and no deadline, for the CI workflow
+#     (deadlines are flaky on shared runners; example count is the
+#     budget that matters there).
+# Select with HYPOTHESIS_PROFILE=ci (as .github/workflows/ci.yml does).
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.register_profile("ci", max_examples=300, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.memsys.cache import Cache
 from repro.memsys.dram import Dram

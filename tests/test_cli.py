@@ -140,3 +140,97 @@ class TestRunnerOptions:
         assert parse_size("4096") == 4096
         with pytest.raises(ReproError):
             parse_size("huge")
+
+    def test_sweep_l2_size_axis(self, tmp_path, capsys):
+        code = main(["sweep", "--axis", "l2-size", "--values", "512k,1m",
+                     "--workloads", "bwaves_like", "--prefetchers", "ipcp",
+                     "--scale", "0.1", "--jobs", "2",
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "l2-size" in out and "512k" in out and "1m" in out
+
+    def test_sweep_replacement_axis_no_cache(self, capsys):
+        code = main(["sweep", "--axis", "replacement", "--values", "lru,srrip",
+                     "--workloads", "bwaves_like", "--prefetchers", "ipcp",
+                     "--scale", "0.1", "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lru" in out and "srrip" in out
+
+
+class TestVerifyCommand:
+    GOLDEN_ONLY = ["verify", "--skip-oracle", "--skip-invariants"]
+    TINY = ["--workloads", "bwaves_like", "--prefetchers", "none,ipcp",
+            "--scale", "0.1"]
+
+    def _write_baseline(self, path, tmp_path):
+        return main(self.GOLDEN_ONLY + self.TINY + [
+            "--baseline", path, "--update-baseline",
+            "--cache-dir", str(tmp_path / "cache")])
+
+    def test_oracle_phase_passes(self, capsys):
+        code = main(["verify", "--skip-golden", "--skip-invariants"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lockstep" in out and "OK" in out
+
+    def test_invariant_phase_passes(self, capsys):
+        code = main(["verify", "--skip-golden", "--skip-oracle",
+                     "--invariant-scale", "0.02"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "invariants" in out and "OK" in out
+
+    def test_golden_update_then_verify_roundtrip(self, tmp_path, capsys):
+        baseline = str(tmp_path / "golden.json")
+        assert self._write_baseline(baseline, tmp_path) == 0
+        assert "wrote 2 cells" in capsys.readouterr().out
+        code = main(self.GOLDEN_ONLY + [
+            "--baseline", baseline, "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        assert "cells match" in capsys.readouterr().out
+
+    def test_golden_drift_fails_and_suggests_rebaseline(
+            self, tmp_path, capsys):
+        import json
+
+        baseline = str(tmp_path / "golden.json")
+        assert self._write_baseline(baseline, tmp_path) == 0
+        with open(baseline) as fh:
+            document = json.load(fh)
+        document["cells"]["bwaves_like/ipcp"]["ipc"] *= 2
+        with open(baseline, "w") as fh:
+            json.dump(document, fh)
+        capsys.readouterr()
+        code = main(self.GOLDEN_ONLY + [
+            "--baseline", baseline, "--cache-dir", str(tmp_path / "cache")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "drift" in out and "--update-baseline" in out
+
+    def test_golden_tolerance_absorbs_drift(self, tmp_path, capsys):
+        import json
+
+        baseline = str(tmp_path / "golden.json")
+        assert self._write_baseline(baseline, tmp_path) == 0
+        with open(baseline) as fh:
+            document = json.load(fh)
+        document["cells"]["bwaves_like/ipcp"]["ipc"] *= 1.0001
+        with open(baseline, "w") as fh:
+            json.dump(document, fh)
+        capsys.readouterr()
+        # Exact comparison flags the 0.01% ipc nudge ...
+        assert main(self.GOLDEN_ONLY + [
+            "--baseline", baseline,
+            "--cache-dir", str(tmp_path / "cache")]) == 1
+        # ... a 1% tolerance absorbs it.
+        assert main(self.GOLDEN_ONLY + [
+            "--baseline", baseline, "--tolerance", "0.01",
+            "--cache-dir", str(tmp_path / "cache")]) == 0
+
+    def test_missing_baseline_is_an_error(self, tmp_path, capsys):
+        code = main(self.GOLDEN_ONLY + [
+            "--baseline", str(tmp_path / "absent.json"), "--no-cache"])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err

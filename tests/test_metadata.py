@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.ip_table import STRIDE_MAX, STRIDE_MIN, clamp_stride
 from repro.core.metadata import MetaClass, decode_metadata, encode_metadata
 
 
@@ -33,3 +34,51 @@ class TestEncodeDecode:
         meta_class, stride = decode_metadata(0)
         assert meta_class is MetaClass.NONE
         assert stride == 0
+
+
+class TestStrideBoundary:
+    """The saturation policy at the edge of the 7-bit signed field.
+
+    A two's-complement 7-bit field spans [-64, +63]; the encoders
+    deliberately saturate symmetrically at [-63, +63] (a +/-64-line
+    stride always crosses the 4 KB page, and symmetry keeps negation
+    closed).  The wire can still *carry* raw 0x40, and decoders must
+    read it back as -64 so a corrupted packet is visible rather than
+    silently renormalised — the invariant checker flags it.
+    """
+
+    def test_clamp_is_symmetric_at_the_boundary(self):
+        assert clamp_stride(64) == STRIDE_MAX == 63
+        assert clamp_stride(-64) == STRIDE_MIN == -63
+        assert STRIDE_MIN == -STRIDE_MAX
+
+    @pytest.mark.parametrize("stride", range(-64, 65))
+    def test_clamp_negation_closure(self, stride):
+        assert clamp_stride(-stride) == -clamp_stride(stride)
+
+    @pytest.mark.parametrize("stride", range(STRIDE_MIN, STRIDE_MAX + 1))
+    def test_clamp_identity_and_idempotence_in_range(self, stride):
+        assert clamp_stride(stride) == stride
+        assert clamp_stride(clamp_stride(stride)) == clamp_stride(stride)
+
+    def test_encoder_saturates_minus_64_to_minus_63(self):
+        assert encode_metadata(MetaClass.CS, -64) == \
+            encode_metadata(MetaClass.CS, -63)
+        assert decode_metadata(encode_metadata(MetaClass.CS, -64))[1] == -63
+
+    def test_decoder_still_reads_the_wire_minus_64(self):
+        # Raw 0x40 is representable on the wire even though no encoder
+        # produces it; decode must not mask the corruption.
+        packet = (int(MetaClass.CS) << 7) | 0x40
+        assert decode_metadata(packet) == (MetaClass.CS, -64)
+
+    @pytest.mark.parametrize("stride", range(STRIDE_MIN, STRIDE_MAX + 1))
+    def test_exact_roundtrip_over_full_saturated_range(self, stride):
+        for meta_class in (MetaClass.CS, MetaClass.GS):
+            assert decode_metadata(encode_metadata(meta_class, stride)) == \
+                (meta_class, stride)
+
+    def test_encoder_never_emits_raw_minus_64(self):
+        for stride in range(-200, 201):
+            packet = encode_metadata(MetaClass.CS, stride)
+            assert packet & 0x7F != 0x40

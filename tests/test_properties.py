@@ -182,3 +182,126 @@ class TestTraceProperties:
         path = str(tmp_path_factory.mktemp("traces") / "t.bin")
         save_trace(trace, path)
         assert list(load_trace(path)) == list(trace)
+
+
+# --------------------------------------------------------------------- #
+# Metamorphic properties: transforms the mechanisms must be blind to
+# --------------------------------------------------------------------- #
+
+# A synthetic access is (ip index into a small pool, page 0..3, line
+# offset 0..63).  Pages 0..3 have distinct 2-LSB virtual page numbers,
+# which is all the CS stride logic is allowed to observe.
+_accesses = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2),
+              st.integers(min_value=0, max_value=3),
+              st.integers(min_value=0, max_value=63)),
+    min_size=10, max_size=150,
+)
+_IPS = (0x400_1b0, 0x400_5c4, 0x401_088)
+_BASE_PAGE = 0x100  # keep line numbers nonzero (0 is the unseen sentinel)
+
+
+def _addr(page: int, offset: int) -> int:
+    return (_BASE_PAGE + page) * PAGE_SIZE + offset * 64
+
+
+def _oracle_relative_stream(pairs, mpki: float = 20.0):
+    """Relative bouquet decisions: (class, delta, meta) per access.
+
+    Uses the oracle with an *exact-tag* RR filter: the production
+    12-bit partial tag is the one deliberately address-dependent piece
+    of IPCP (aliasing changes under translation), and the lockstep
+    differ already pins it.  With exact tags, "recently requested" is a
+    pure property of line equality, which translation preserves.
+    """
+    from repro.verify.oracles import OracleIpcpL1, OracleRrFilter
+
+    oracle = OracleIpcpL1()
+    oracle.rr = OracleRrFilter(entries=32, tag_bits=64)
+    stream = []
+    for ip, addr in pairs:
+        line = addr >> 6
+        decision = oracle.step(ip, addr, mpki)
+        stream.append(tuple(
+            (pf_class, target - line, meta_class, meta_stride)
+            for target, pf_class, meta_class, meta_stride in decision.requests
+        ))
+    return stream
+
+
+def _cs_nl_stream(pairs):
+    """Per-access CS classifier state + NL gate, from the partial view.
+
+    The hardware CS path observes only (line offset within page, 2 LSBs
+    of the virtual page); NL observes only the offset.  This helper
+    replays exactly that observable state so renaming transforms that
+    preserve it must leave the stream unchanged.
+    """
+    from repro.verify.oracles import OracleCsClassifier, OracleIpTable
+
+    table = OracleIpTable()
+    stream = []
+    for ip, addr in pairs:
+        state = table.access(ip)
+        cs_decision = None
+        if state is not None and state.last_line:
+            stride = OracleCsClassifier.observe_stride(state, addr)
+            if stride != 0:
+                OracleCsClassifier.train(state, stride)
+            cs_decision = (
+                OracleCsClassifier.eligible(state), state.stride,
+                state.confidence,
+            )
+        if state is not None:
+            state.last_vpage2 = (addr >> 12) % 4
+            state.last_offset = (addr >> 6) % 64
+            state.last_line = addr >> 6
+        nl_issues = (addr >> 6) % 64 < 63  # next line stays in the page
+        stream.append((cs_decision, nl_issues))
+    return stream
+
+
+class TestMetamorphicProperties:
+    @given(accesses=_accesses,
+           k=st.integers(min_value=1, max_value=1 << 20))
+    def test_uniform_offset_leaves_decisions_unchanged(self, accesses, k):
+        """Shifting every address by k * 4 pages relabels lines but
+        preserves offsets, 2-LSB page adjacency and region structure,
+        so the whole bouquet's relative decision stream is unchanged."""
+        pairs = [(_IPS[i], _addr(page, off)) for i, page, off in accesses]
+        shift = k * 4 * PAGE_SIZE
+        moved = [(ip, addr + shift) for ip, addr in pairs]
+        assert _oracle_relative_stream(pairs) == _oracle_relative_stream(moved)
+
+    @given(accesses=_accesses,
+           renames=st.tuples(*[st.integers(min_value=0, max_value=255)] * 4))
+    def test_page_renaming_leaves_cs_nl_streams_unchanged(
+            self, accesses, renames):
+        """Renaming page p -> p + 4 * renames[p] preserves everything CS
+        and NL observe (in-page offsets, 2-LSB page numbers), so their
+        decision streams must be identical on the renamed trace."""
+        pairs = [(_IPS[i], _addr(page, off)) for i, page, off in accesses]
+        renamed = [
+            (_IPS[i], _addr(page + 4 * renames[page], off))
+            for i, page, off in accesses
+        ]
+        assert _cs_nl_stream(pairs) == _cs_nl_stream(renamed)
+
+    @given(accesses=_accesses, k=st.integers(min_value=0, max_value=160))
+    def test_trace_slicing_matches_record_list_suffix(self, accesses, k):
+        """trace[k:] is the same trace as slicing the record list, and
+        its summary stats agree with stats recomputed on the suffix."""
+        records = [(LOAD, _IPS[i], _addr(page, off), 0)
+                   for i, page, off in accesses]
+        trace = Trace(records, name="sliced")
+        suffix = trace[k:]
+        assert list(suffix) == list(trace)[k:]
+        assert suffix.name == trace.name
+        tail = records[k:]
+        assert suffix.load_records == sum(
+            1 for kind, _, _, _ in tail if kind == LOAD
+        )
+        assert suffix.memory_records == len(tail)
+        assert suffix.footprint_lines() == len(
+            {addr >> 6 for _, _, addr, _ in tail}
+        )
