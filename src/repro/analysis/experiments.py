@@ -17,10 +17,26 @@ from collections.abc import Iterable
 
 from repro.params import SystemParams
 from repro.prefetchers import make_prefetcher
+from repro.resilience import JobFailure
 from repro.runner import ResultCache, SimulationRunner, levels_job
 from repro.sim.engine import SimResult, simulate
 from repro.sim.trace import Trace
 from repro.stats.metrics import geometric_mean, speedup
+
+
+def _cell_speedup(result, baseline):
+    """Speedup of one degraded-grid cell; failures propagate as cells.
+
+    A runner in degraded mode resolves terminally-failed jobs to
+    :class:`JobFailure` values instead of raising, so a partial grid
+    still renders — with the failure (not a bogus number) in any cell
+    whose own result or baseline is missing.
+    """
+    if isinstance(result, JobFailure):
+        return result
+    if isinstance(baseline, JobFailure):
+        return baseline
+    return speedup(result, baseline)
 
 
 def run_levels(
@@ -107,15 +123,24 @@ class ExperimentRunner:
             for config in (config_name, baseline)
         )
         return {
-            name: speedup(
+            name: _cell_speedup(
                 self.result(name, config_name), self.result(name, baseline)
             )
             for name in self.traces
         }
 
-    def mean_speedup(self, config_name: str, baseline: str = "none") -> float:
-        """Geometric-mean speedup over the suite (the paper's averages)."""
-        return geometric_mean(self.speedups(config_name, baseline).values())
+    def mean_speedup(self, config_name: str, baseline: str = "none"):
+        """Geometric-mean speedup over the suite (the paper's averages).
+
+        If any contributing cell failed (degraded runner), the mean is
+        that failure — an explicit ``FAILED(...)`` beats a silently
+        partial geomean.
+        """
+        values = list(self.speedups(config_name, baseline).values())
+        for value in values:
+            if isinstance(value, JobFailure):
+                return value
+        return geometric_mean(values)
 
     def speedup_table(
         self, config_names: list[str], baseline: str = "none"
@@ -131,8 +156,8 @@ class ExperimentRunner:
             row: list = [name]
             for config in config_names:
                 row.append(
-                    speedup(self.result(name, config),
-                            self.result(name, baseline))
+                    _cell_speedup(self.result(name, config),
+                                  self.result(name, baseline))
                 )
             rows.append(row)
         mean_row: list = ["geomean"]

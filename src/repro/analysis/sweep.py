@@ -22,6 +22,7 @@ from repro.params import (
     default_l2,
     default_llc,
 )
+from repro.resilience import JobFailure
 from repro.runner import ResultCache, SimulationRunner, levels_job
 from repro.stats.metrics import geometric_mean
 
@@ -131,11 +132,21 @@ def run_sweep(
     for point in range(len(params_list)):
         row = {}
         for config in config_names:
-            row[config] = geometric_mean([
-                cells[(point, trace.name, config)].speedup_over(
-                    cells[(point, trace.name, baseline)]
-                )
-                for trace in traces
-            ])
+            pairs = [(cells[(point, trace.name, config)],
+                      cells[(point, trace.name, baseline)])
+                     for trace in traces]
+            # With a degraded runner a terminally-failed cell arrives
+            # as a JobFailure; surface it in the swept row instead of
+            # averaging over a silently partial suite.
+            failure = next(
+                (cell for pair in pairs for cell in pair
+                 if isinstance(cell, JobFailure)), None,
+            )
+            if failure is not None:
+                row[config] = failure
+            else:
+                row[config] = geometric_mean([
+                    result.speedup_over(base) for result, base in pairs
+                ])
         rows.append(row)
     return rows

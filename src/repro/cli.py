@@ -16,6 +16,14 @@ Simulation commands accept ``--jobs N`` to fan cells out across worker
 processes and keep a persistent result cache (``--cache-dir``, default
 ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-sim``; disable with
 ``--no-cache``), so repeating a figure or sweep is a cache hit.
+
+Execution is fault-tolerant (docs/resilience.md): ``--retries N``
+bounds the attempt budget for transient failures, ``--timeout SEC``
+kills and retries overdue jobs, ``--journal PATH`` checkpoints resolved
+cells so an interrupted run (Ctrl-C exits 130 after flushing the
+journal) resumes with zero recomputation, and ``--degraded`` renders
+``FAILED(reason)`` cells instead of aborting.  ``repro chaos`` runs the
+seeded fault-injection proof.
 """
 
 from __future__ import annotations
@@ -26,8 +34,13 @@ import sys
 from repro.analysis import ExperimentRunner, run_levels, run_sweep
 from repro.analysis.tracestats import analyze_trace
 from repro.analysis.validate import check_prefetcher
-from repro.errors import ReproError
+from repro.errors import ReproError, exit_code_for
 from repro.prefetchers import available_prefetchers, make_prefetcher
+from repro.resilience import (
+    CheckpointJournal,
+    RetryPolicy,
+    flush_active_journals,
+)
 from repro.runner import ResultCache, SimulationRunner
 from repro.sim.multicore import simulate_mix
 from repro.sim.trace import load_trace, save_trace
@@ -86,9 +99,18 @@ def cmd_list_workloads(args) -> int:
 
 
 def make_backend(args) -> SimulationRunner:
-    """Build the job runner from the shared --jobs/--cache-dir options."""
+    """Build the job runner from the shared runner/resilience options."""
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return SimulationRunner(jobs=args.jobs, cache=cache)
+    journal = (CheckpointJournal(args.journal)
+               if getattr(args, "journal", None) else None)
+    return SimulationRunner(
+        jobs=args.jobs,
+        cache=cache,
+        retry=RetryPolicy(max_attempts=args.retries),
+        timeout=args.timeout,
+        journal=journal,
+        degraded=getattr(args, "degraded", False),
+    )
 
 
 def parse_size(text: str) -> int:
@@ -363,8 +385,91 @@ def cmd_mix(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Chaos proof: a faulty sweep must match a fault-free one exactly."""
+    import functools
+    import pickle
+    import shutil
+    import tempfile
+
+    from repro.resilience.chaos import (
+        ChaosCache,
+        ChaosPlan,
+        chaos_execute_job,
+    )
+    from repro.runner import levels_job
+
+    traces = [build_trace(name, args.scale)
+              for name in args.workloads.split(",")]
+    configs = args.prefetchers.split(",")
+    specs = [levels_job(trace, config)
+             for trace in traces for config in configs]
+    plan = ChaosPlan(
+        seed=args.seed,
+        crash_rate=args.crash_rate,
+        hang_rate=args.hang_rate,
+        transient_rate=args.transient_rate,
+        corrupt_rate=args.corrupt_rate,
+        hang_seconds=args.hang_seconds,
+    )
+    print(f"chaos: {len(specs)}-cell grid ({len(traces)} workloads x "
+          f"{len(configs)} configs), seed {args.seed}, jobs {args.jobs}")
+
+    reference = SimulationRunner(jobs=args.jobs).run(specs)
+    expected = [pickle.dumps(cell) for cell in reference]
+
+    retry = RetryPolicy(max_attempts=args.retries, backoff_base=0.01)
+    execute = functools.partial(chaos_execute_job, plan=plan)
+    cache_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        cache = ChaosCache(ResultCache(cache_dir), plan)
+        # Cold pass: crashes, hangs and transients fire during
+        # execution, and scheduled cache entries are corrupted as they
+        # publish.  Warm pass: the corrupt entries fail their digest
+        # check, get evicted and recomputed (under the same chaos).
+        cold = SimulationRunner(jobs=args.jobs, cache=cache, retry=retry,
+                                timeout=args.timeout, execute=execute)
+        cold_results = cold.run(specs)
+        warm = SimulationRunner(jobs=args.jobs, cache=cache, retry=retry,
+                                timeout=args.timeout, execute=execute)
+        warm_results = warm.run(specs)
+
+        rows = [
+            ["worker crashes recovered",
+             cold.worker_crashes + warm.worker_crashes],
+            ["pool respawns", cold.pool_respawns + warm.pool_respawns],
+            ["job timeouts", cold.timeouts + warm.timeouts],
+            ["transient retries", cold.retries + warm.retries],
+            ["cache entries corrupted", cache.corruptions],
+            ["corrupt entries detected & evicted", cache.inner.corrupt],
+            ["simulations (fault-free vs chaotic)",
+             f"{len(specs)} vs "
+             f"{cold.simulations_run + warm.simulations_run}"],
+        ]
+        print(format_table(["event", "count"], rows,
+                           title="Injected faults and recoveries"))
+
+        mismatches = 0
+        for label, results in (("cold", cold_results),
+                               ("warm", warm_results)):
+            for spec, cell, want in zip(specs, results, expected):
+                if pickle.dumps(cell) != want:
+                    mismatches += 1
+                    print(f"MISMATCH ({label}): {spec.trace_name}/"
+                          f"{spec.config_name}")
+        if mismatches:
+            print(f"chaos proof FAILED: {mismatches} cells diverged "
+                  f"from the fault-free run")
+            return 1
+        print(f"chaos proof OK: {2 * len(specs)} recovered cells "
+              f"bit-identical to the fault-free run")
+        return 0
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
 def add_runner_options(parser: argparse.ArgumentParser) -> None:
-    """Shared --jobs/--cache-dir/--no-cache options for simulation commands."""
+    """Shared runner/resilience options for simulation commands."""
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for simulation cells")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -373,6 +478,22 @@ def add_runner_options(parser: argparse.ArgumentParser) -> None:
                              "~/.cache/repro-sim)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent result cache")
+    parser.add_argument("--retries", type=int, default=3, metavar="N",
+                        help="attempt budget per job for transient "
+                             "failures and timeouts (1 disables retry)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SEC",
+                        help="per-job wall-clock timeout; the overdue "
+                             "worker is killed and the job retried "
+                             "(needs --jobs >= 2)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="checkpoint journal: record resolved cells "
+                             "so an interrupted run resumes with zero "
+                             "recomputation")
+    parser.add_argument("--degraded", action="store_true",
+                        help="render FAILED(reason) cells for jobs that "
+                             "exhaust their retry budget instead of "
+                             "aborting the run")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -482,6 +603,33 @@ def build_parser() -> argparse.ArgumentParser:
     add_runner_options(verify)
     verify.set_defaults(func=cmd_verify)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection proof: a sweep surviving worker "
+             "crashes, hangs, transient errors and corrupt cache "
+             "entries must be bit-identical to a fault-free run "
+             "(see docs/resilience.md)")
+    chaos.add_argument("--workloads", default="bwaves_like,gcc_like",
+                       help="comma-separated workload names")
+    chaos.add_argument("--prefetchers", default="none,ipcp",
+                       help="comma-separated prefetcher configurations")
+    chaos.add_argument("--scale", type=float, default=0.05)
+    chaos.add_argument("--seed", type=int, default=1,
+                       help="fault-schedule seed (same seed = same "
+                            "faults)")
+    chaos.add_argument("--jobs", type=int, default=2, metavar="N")
+    chaos.add_argument("--retries", type=int, default=4, metavar="N")
+    chaos.add_argument("--timeout", type=float, default=0.75,
+                       metavar="SEC",
+                       help="per-job deadline that converts injected "
+                            "hangs into timeouts")
+    chaos.add_argument("--crash-rate", type=float, default=0.25)
+    chaos.add_argument("--hang-rate", type=float, default=0.25)
+    chaos.add_argument("--transient-rate", type=float, default=0.25)
+    chaos.add_argument("--corrupt-rate", type=float, default=0.5)
+    chaos.add_argument("--hang-seconds", type=float, default=30.0)
+    chaos.set_defaults(func=cmd_chaos)
+
     mix = sub.add_parser("mix", help="homogeneous multicore mix")
     mix.add_argument("--workload", required=True)
     mix.add_argument("--cores", type=int, default=4)
@@ -494,14 +642,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Error hygiene: every :class:`ReproError` subclass maps to its own
+    nonzero exit code (see docs/resilience.md) and prints a one-line
+    message, never a traceback.  Ctrl-C flushes any open checkpoint
+    journals before exiting 130, so an interrupted sweep resumes from
+    exactly where it stopped.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        flushed = flush_active_journals()
+        note = (f"; {flushed} checkpoint journal(s) flushed"
+                if flushed else "")
+        print(f"interrupted{note}", file=sys.stderr)
+        return 130
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":

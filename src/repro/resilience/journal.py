@@ -1,0 +1,151 @@
+"""Append-only checkpoint journal for interruptible sweeps.
+
+A :class:`CheckpointJournal` records, one JSON line per event, the
+resolution of every job in a long run: ``done`` lines name cache keys
+whose payloads were published to the :class:`~repro.runner.cache.
+ResultCache`, ``failed`` lines carry the failure taxonomy for cells
+that exhausted their retry budget.  Lines are flushed as they are
+written, so the journal is crash-consistent by construction — killing
+the process mid-run loses at most the jobs that were literally in
+flight.
+
+On resume, a runner pointed at the same journal and cache re-simulates
+*nothing* that already resolved: ``done`` keys are cache hits, and in
+degraded mode ``failed`` keys surface immediately as
+:class:`~repro.resilience.policy.JobFailure` cells without burning a
+fresh attempt budget on a known-fatal cell.
+
+A half-written trailing line (the writer was SIGKILLed mid-append) is
+skipped on load rather than treated as corruption.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import weakref
+
+from repro.errors import CheckpointError
+from repro.resilience.policy import JobFailure
+
+DONE = "done"
+FAILED = "failed"
+
+# Open journals, so the CLI can flush every one of them on
+# KeyboardInterrupt regardless of which command object holds them.
+_ACTIVE: "weakref.WeakSet[CheckpointJournal]" = weakref.WeakSet()
+
+
+def flush_active_journals() -> int:
+    """Flush every open journal (returns how many were flushed)."""
+    count = 0
+    for journal in list(_ACTIVE):
+        journal.flush()
+        count += 1
+    return count
+
+
+class CheckpointJournal:
+    """Append-only record of resolved cache keys for one sweep."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.entries: dict[str, dict] = {}
+        directory = os.path.dirname(path)
+        if directory:
+            try:
+                os.makedirs(directory, exist_ok=True)
+            except (FileExistsError, NotADirectoryError) as error:
+                raise CheckpointError(
+                    f"journal directory {directory!r} is not writable"
+                ) from error
+        if os.path.exists(path):
+            self._load()
+        try:
+            self._fh = open(path, "a", encoding="utf-8")
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot open checkpoint journal {path!r}: {error}"
+            ) from error
+        _ACTIVE.add(self)
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read checkpoint journal {self.path!r}: {error}"
+            ) from error
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                status = entry["status"]
+            except (ValueError, TypeError, KeyError):
+                # A writer killed mid-append leaves a torn final line;
+                # everything before it is still a valid checkpoint.
+                continue
+            if status in (DONE, FAILED):
+                self.entries[key] = entry
+
+    def _write(self, entry: dict) -> None:
+        self.entries[entry["key"]] = entry
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def record_done(self, key: str) -> None:
+        """Mark a key as resolved and published to the cache."""
+        self._write({"key": key, "status": DONE})
+
+    def record_failed(self, key: str, failure: JobFailure) -> None:
+        """Mark a key as terminally failed (with its taxonomy)."""
+        self._write({
+            "key": key,
+            "status": FAILED,
+            "error_type": failure.error_type,
+            "message": failure.message,
+            "attempts": failure.attempts,
+        })
+
+    def failure_for(self, key: str) -> JobFailure | None:
+        """The recorded failure for a key, if it terminally failed."""
+        entry = self.entries.get(key)
+        if entry is None or entry.get("status") != FAILED:
+            return None
+        return JobFailure(
+            key=key,
+            error_type=entry.get("error_type", "JobError"),
+            message=entry.get("message", ""),
+            attempts=int(entry.get("attempts", 0)),
+        )
+
+    @property
+    def done_keys(self) -> set[str]:
+        return {key for key, entry in self.entries.items()
+                if entry.get("status") == DONE}
+
+    @property
+    def failed_keys(self) -> set[str]:
+        return {key for key, entry in self.entries.items()
+                if entry.get("status") == FAILED}
+
+    def flush(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self.flush()
+            self._fh.close()
+        _ACTIVE.discard(self)
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

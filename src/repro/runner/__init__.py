@@ -15,14 +15,20 @@ values so cells can
 
 :class:`SimulationRunner` ties the two together and is the substrate
 under :class:`repro.analysis.ExperimentRunner`, the sensitivity sweeps,
-the multicore alone-IPC runs and the ``repro`` CLI.
+the multicore alone-IPC runs and the ``repro`` CLI.  Execution is
+fault-tolerant via :mod:`repro.resilience` — bounded retries with
+backoff, per-job timeouts, worker-crash recovery, checkpoint/resume
+journals and degraded-mode :class:`JobFailure` cells (see
+``docs/resilience.md``).
 """
 
+from repro.resilience import CheckpointJournal, JobFailure, RetryPolicy
 from repro.runner.cache import ResultCache, default_cache_dir
 from repro.runner.job import (
     JobSpec,
     alone_ipc_job,
     code_salt,
+    default_execute,
     execute_job,
     levels_job,
     params_fingerprint,
@@ -31,12 +37,16 @@ from repro.runner.job import (
 from repro.runner.pool import SimulationRunner
 
 __all__ = [
+    "CheckpointJournal",
+    "JobFailure",
     "JobSpec",
     "ResultCache",
+    "RetryPolicy",
     "SimulationRunner",
     "alone_ipc_job",
     "code_salt",
     "default_cache_dir",
+    "default_execute",
     "execute_job",
     "levels_job",
     "params_fingerprint",

@@ -8,9 +8,14 @@ Each file is ``MAGIC + blake2b(body) + body`` where ``body`` is the
 pickled payload.  :meth:`ResultCache.get` verifies the digest before
 unpickling, so a truncated or corrupted entry (killed writer, disk
 error, manual tampering) is detected, evicted and recomputed instead of
-crashing the run or — worse — silently returning garbage.  Writes go
-through a temporary file and :func:`os.replace`, so concurrent workers
-racing on the same key can only ever publish complete entries.
+crashing the run or — worse — silently returning garbage.  Writes are
+atomic: the blob is written to a dot-prefixed temporary file in the
+entry's own directory, fsynced, then published with :func:`os.replace`
+— a writer SIGKILLed at any instant leaves either the old state or the
+complete new entry, never a torn one, and concurrent workers racing on
+the same key can only ever publish complete entries.  Orphaned
+temporaries from killed writers are invisible to :meth:`get` and
+:meth:`__len__` (both look only at ``<key>.pkl`` names).
 """
 
 from __future__ import annotations
@@ -99,6 +104,8 @@ class ResultCache:
         try:
             with os.fdopen(fd, "wb") as fh:
                 fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, entry)
         except OSError:
             try:

@@ -179,6 +179,16 @@ def alone_ipc_job(
     )
 
 
+def default_execute(spec: JobSpec, attempt: int = 1):
+    """Default execution function for :class:`SimulationRunner`.
+
+    The runner dispatches through a pluggable ``fn(spec, attempt)`` so
+    the chaos harness (and tests) can interpose fault injection; the
+    default simply ignores the attempt number and runs the job.
+    """
+    return execute_job(spec)
+
+
 def execute_job(spec: JobSpec):
     """Run one job to completion (in this process or a pool worker).
 

@@ -1,9 +1,11 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_trace, main
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, JobTimeout, ReproError
 
 
 class TestBuildTrace:
@@ -68,10 +70,10 @@ class TestCommands:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
-    def test_unknown_prefetcher_exits_nonzero(self, capsys):
+    def test_unknown_prefetcher_exits_config_error(self, capsys):
         code = main(["run", "--workload", "bwaves_like",
                      "--prefetcher", "bogus", "--scale", "0.1"])
-        assert code == 2
+        assert code == ConfigurationError.exit_code
 
 
 class TestTraceFileCommands:
@@ -234,3 +236,96 @@ class TestVerifyCommand:
             "--baseline", str(tmp_path / "absent.json"), "--no-cache"])
         assert code == 2
         assert "not found" in capsys.readouterr().err
+
+
+class TestErrorHygiene:
+    def test_errors_are_one_line_without_traceback(self, capsys):
+        main(["run", "--workload", "bogus", "--scale", "0.1"])
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_timeout_exhaustion_exits_with_timeout_code(self, capsys):
+        # A 1ms deadline no simulation can meet, with no retry budget:
+        # the run must fail with JobTimeout's dedicated exit code.
+        code = main(["compare", "--workloads", "bwaves_like",
+                     "--prefetchers", "none", "--scale", "0.05",
+                     "--jobs", "2", "--timeout", "0.001",
+                     "--retries", "1", "--no-cache"])
+        assert code == JobTimeout.exit_code
+        err = capsys.readouterr().err
+        assert "error:" in err and "exceeded" in err
+
+    def test_degraded_renders_failed_cells_and_exits_zero(self, capsys):
+        code = main(["compare", "--workloads", "bwaves_like",
+                     "--prefetchers", "none", "--scale", "0.05",
+                     "--jobs", "2", "--timeout", "0.001",
+                     "--retries", "1", "--no-cache", "--degraded"])
+        assert code == 0
+        assert "FAILED(JobTimeout)" in capsys.readouterr().out
+
+    def test_interrupt_flushes_journal_and_exits_130(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.runner.pool import SimulationRunner
+
+        def interrupted_run(self, specs, degraded=None):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(SimulationRunner, "run", interrupted_run)
+        journal = str(tmp_path / "sweep.journal")
+        code = main(["compare", "--workloads", "bwaves_like",
+                     "--prefetchers", "none", "--scale", "0.05",
+                     "--journal", journal, "--no-cache"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "1 checkpoint journal(s) flushed" in err
+        assert os.path.exists(journal)
+
+
+class TestResilienceOptions:
+    def test_journal_resume_across_invocations(self, tmp_path, capsys):
+        argv = ["compare", "--workloads", "bwaves_like",
+                "--prefetchers", "ipcp", "--scale", "0.1",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--journal", str(tmp_path / "sweep.journal")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        # The journal records both resolved cells.
+        with open(tmp_path / "sweep.journal") as fh:
+            assert len(fh.read().strip().splitlines()) == 2
+        # Resumed invocation reproduces the identical table.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_retries_and_timeout_accepted_on_clean_run(self, capsys):
+        code = main(["run", "--workload", "bwaves_like", "--scale", "0.1",
+                     "--retries", "2", "--timeout", "60", "--jobs", "2",
+                     "--no-cache"])
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_chaos_proof_transient_and_corrupt(self, capsys):
+        # Serial, crash/hang-free schedule keeps this test fast while
+        # still exercising injected transients, cache corruption, and
+        # the bit-identical recovery proof end to end.
+        code = main(["chaos", "--workloads", "bwaves_like",
+                     "--prefetchers", "none,ipcp", "--scale", "0.05",
+                     "--jobs", "1", "--crash-rate", "0",
+                     "--hang-rate", "0", "--transient-rate", "1.0",
+                     "--corrupt-rate", "1.0", "--retries", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos proof OK" in out
+        assert "bit-identical" in out
+        assert "transient retries" in out
+        assert "corrupt entries detected & evicted" in out
+
+    def test_chaos_rejects_bad_rates(self, capsys):
+        code = main(["chaos", "--crash-rate", "0.9",
+                     "--transient-rate", "0.9", "--scale", "0.05"])
+        assert code == ConfigurationError.exit_code
+        assert "sum" in capsys.readouterr().err
