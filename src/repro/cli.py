@@ -11,6 +11,8 @@ Examples::
                           --workloads lbm_like,bwaves_like
     python -m repro analyze --workload mcf_i_like
     python -m repro mix --workload lbm_like --cores 4 --prefetcher ipcp
+    python -m repro trace --workload bwaves_like --out events.jsonl
+    python -m repro profile --workload mcf_i_like --top 15
 
 Simulation commands accept ``--jobs N`` to fan cells out across worker
 processes and keep a persistent result cache (``--cache-dir``, default
@@ -385,6 +387,102 @@ def cmd_mix(args) -> int:
     return 0
 
 
+def _class_label(class_id: int) -> str:
+    from repro.core.ipcp_l1 import PfClass
+
+    try:
+        return PfClass(class_id).name.lower()
+    except ValueError:
+        return f"class{class_id}"
+
+
+def _print_stream_summary(summary, source: str) -> None:
+    rows = [[kind, count] for kind, count in summary.kinds]
+    print(format_table(["event kind", "count"], rows,
+                       title=f"{source}: {summary.total} events"))
+    per_class = [
+        [level, _class_label(cls), count, "issue"]
+        for level, cls, count in summary.issued_by_class
+    ] + [
+        [level, _class_label(cls), count, "useful"]
+        for level, cls, count in summary.useful_by_class
+    ]
+    if per_class:
+        print(format_table(["level", "class", "count", "kind"], per_class,
+                           title="Per-class prefetch events"))
+    if summary.drops_by_reason:
+        rows = [[reason, count]
+                for reason, count in summary.drops_by_reason]
+        print(format_table(["drop reason", "count"], rows,
+                           title="Dropped candidates"))
+    if summary.meta_by_class:
+        rows = [[name, count] for name, count in summary.meta_by_class]
+        print(format_table(["metadata class", "count"], rows,
+                           title="L1->L2 metadata packets decoded"))
+
+
+def _write_events(path: str, events) -> None:
+    from repro.telemetry.export import write_events_csv, write_events_jsonl
+
+    if path.endswith(".csv"):
+        write_events_csv(path, events)
+    else:
+        write_events_jsonl(path, events)
+    print(f"wrote {len(events)} events to {path}")
+
+
+def cmd_trace(args) -> int:
+    from repro.runner import trace_job
+    from repro.telemetry import reconcile, summarize
+    from repro.telemetry.export import read_events_jsonl
+
+    if args.replay:
+        events = read_events_jsonl(args.replay)
+        _print_stream_summary(summarize(events), args.replay)
+        if args.out:
+            _write_events(args.out, events)
+        return 0
+
+    if not args.workload:
+        raise ReproError("trace needs --workload (or --replay FILE)")
+    trace = build_trace(args.workload, args.scale)
+    spec = trace_job(trace, args.prefetcher)
+    traced = make_backend(args).run([spec])[0]
+    events = list(traced.events)
+    _print_stream_summary(summarize(events),
+                          f"{trace.name}/{args.prefetcher}")
+    if args.out:
+        _write_events(args.out, events)
+    mismatches = reconcile(events, traced.result)
+    for mismatch in mismatches:
+        print(f"RECONCILE MISMATCH: {mismatch}")
+    if mismatches:
+        return 1
+    print("reconcile OK: per-class issue/useful events match the "
+          "hierarchy's counters exactly")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.runner.job import levels_job
+    from repro.telemetry.profiling import profile_job
+
+    trace = build_trace(args.workload, args.scale)
+    spec = levels_job(trace, args.prefetcher)
+    for profile in profile_job(spec, top=args.top):
+        rate = (profile.instructions / profile.wall_seconds
+                if profile.wall_seconds else 0.0)
+        print(format_table(
+            ["function", "calls", "tottime (s)", "cumtime (s)"],
+            profile.rows(),
+            title=(f"{trace.name}/{args.prefetcher} {profile.phase}: "
+                   f"{profile.instructions} instructions, "
+                   f"{profile.cycles} cycles, "
+                   f"{profile.wall_seconds:.3f}s ({rate:,.0f} instr/s)"),
+        ))
+    return 0
+
+
 def cmd_chaos(args) -> int:
     """Chaos proof: a faulty sweep must match a fault-free one exactly."""
     import functools
@@ -602,6 +700,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the golden-stats regression")
     add_runner_options(verify)
     verify.set_defaults(func=cmd_verify)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="record the prefetcher's decision-level event stream "
+             "(classify/issue/drop/useful/epoch/meta) and reconcile it "
+             "against the run's counters (see docs/observability.md)")
+    trace_cmd.add_argument("--workload", default=None)
+    trace_cmd.add_argument("--prefetcher", default="ipcp")
+    trace_cmd.add_argument("--scale", type=float, default=0.2)
+    trace_cmd.add_argument("--out", default=None, metavar="PATH",
+                           help="write the event stream (.jsonl canonical, "
+                                ".csv flat)")
+    trace_cmd.add_argument("--replay", default=None, metavar="PATH",
+                           help="summarize a previously written JSONL "
+                                "event stream instead of simulating")
+    add_runner_options(trace_cmd)
+    trace_cmd.set_defaults(func=cmd_trace)
+
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile the simulator hot path per phase (warm-up vs "
+             "ROI) for one workload + prefetcher")
+    profile.add_argument("--workload", required=True)
+    profile.add_argument("--prefetcher", default="ipcp")
+    profile.add_argument("--scale", type=float, default=0.2)
+    profile.add_argument("--top", type=int, default=12,
+                         help="functions shown per phase")
+    profile.set_defaults(func=cmd_profile)
 
     chaos = sub.add_parser(
         "chaos",

@@ -32,6 +32,7 @@ from repro.runner.job import (
     execute_job,
     levels_job,
     params_fingerprint,
+    trace_job,
     trace_signature,
 )
 from repro.runner.pool import SimulationRunner
@@ -50,5 +51,6 @@ __all__ = [
     "execute_job",
     "levels_job",
     "params_fingerprint",
+    "trace_job",
     "trace_signature",
 ]

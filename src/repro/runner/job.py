@@ -28,6 +28,7 @@ from repro.sim.trace import _RECORD, Trace
 # Kinds of work a job can describe.
 KIND_LEVELS = "levels"  # single-core (trace x registered config) cell
 KIND_ALONE_IPC = "alone-ipc"  # one core alone on the shared multicore system
+KIND_TRACE = "trace"  # a levels cell run with telemetry event recording
 
 _salt_cache: str | None = None
 
@@ -153,6 +154,33 @@ def levels_job(
     )
 
 
+def trace_job(
+    trace: Trace,
+    config_name: str,
+    params: SystemParams | None = None,
+    warmup: int | None = None,
+    max_instructions: int | None = None,
+) -> JobSpec:
+    """Spec for a levels cell executed with telemetry recording on.
+
+    Identical inputs to :func:`levels_job` but a distinct ``kind``, so a
+    traced run and its plain twin occupy different cache slots: the
+    traced result is a :class:`repro.telemetry.TraceRunResult` (events
+    included) and must never be replayed where a bare ``SimResult`` is
+    expected, or vice versa.
+    """
+    return JobSpec(
+        kind=KIND_TRACE,
+        trace_name=trace.name,
+        config_name=config_name,
+        trace_sig=trace_signature(trace),
+        records=tuple(trace),
+        params=params,
+        warmup=warmup,
+        max_instructions=max_instructions,
+    )
+
+
 def alone_ipc_job(
     trace: Trace,
     params: SystemParams,
@@ -196,20 +224,46 @@ def execute_job(spec: JobSpec):
     method (fork and spawn alike).
     """
     trace = spec.build_trace()
-    if spec.kind == KIND_LEVELS:
+    if spec.kind in (KIND_LEVELS, KIND_TRACE):
         from repro.prefetchers import make_prefetcher
         from repro.sim.engine import simulate
 
         levels = make_prefetcher(spec.config_name)
-        return simulate(
+        prefetchers = {
+            level: levels[level]() if level in levels else None
+            for level in ("l1", "l2", "llc")
+        }
+        recorder = None
+        if spec.kind == KIND_TRACE:
+            from repro.telemetry import EventLog, TraceRunResult
+
+            recorder = EventLog()
+            for prefetcher in prefetchers.values():
+                if prefetcher is not None:
+                    prefetcher.attach_recorder(recorder)
+        result = simulate(
             trace,
-            l1_prefetcher=levels["l1"]() if "l1" in levels else None,
-            l2_prefetcher=levels["l2"]() if "l2" in levels else None,
-            llc_prefetcher=levels["llc"]() if "llc" in levels else None,
+            l1_prefetcher=prefetchers["l1"],
+            l2_prefetcher=prefetchers["l2"],
+            llc_prefetcher=prefetchers["llc"],
             params=spec.params,
             warmup=spec.warmup,
             max_instructions=spec.max_instructions,
+            recorder=recorder,
         )
+        if recorder is None:
+            return result
+        traced = TraceRunResult(result=result, events=tuple(recorder.events))
+        # Canonicalise the pickle topology.  The freshly built graph
+        # interns strings like "l1" across the SimResult/Event boundary,
+        # but one process hop re-splits that sharing (key-sharing
+        # instance dicts re-intern dict keys, values keep the wire
+        # copy), so sequential and pooled runs would cache byte-different
+        # pickles of equal objects.  A single dumps/loads is idempotent
+        # under further hops, so both paths now serialise identically.
+        import pickle
+
+        return pickle.loads(pickle.dumps(traced))
     if spec.kind == KIND_ALONE_IPC:
         from repro.sim.multicore import _simulate_together
 

@@ -117,12 +117,19 @@ def simulate(
     warmup: int | None = None,
     max_instructions: int | None = None,
     hierarchy: Hierarchy | None = None,
+    recorder=None,
 ) -> SimResult:
     """Run one trace through one prefetcher configuration.
 
     ``warmup`` defaults to 20% of the trace; ``max_instructions`` caps
     the ROI length.  A pre-built ``hierarchy`` may be supplied (used by
     the multicore engine and by tests that inspect internals).
+
+    ``recorder`` is an optional :class:`repro.telemetry.Recorder`
+    already attached to the prefetchers; it is reset at the end of
+    warm-up, alongside the statistics, so the recorded event stream
+    covers exactly the measured ROI and reconciles against the
+    returned counters.
     """
     params = params or SystemParams()
     if hierarchy is None:
@@ -139,6 +146,8 @@ def simulate(
 
     cpu.run(trace[:warmup])
     hierarchy.reset_stats()
+    if recorder is not None:
+        recorder.reset()
     roi_start_instr, roi_start_cycle = cpu.mark()
 
     roi_records = trace[warmup:]

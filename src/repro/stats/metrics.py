@@ -85,7 +85,13 @@ def normalized_weighted_speedup(
 
 
 def dram_traffic_overhead(result: SimResult, baseline: SimResult) -> float:
-    """Extra DRAM traffic caused by prefetching (the paper's 16.1%)."""
+    """Extra DRAM traffic caused by prefetching (the paper's 16.1%).
+
+    With a traffic-free baseline the ratio is undefined: zero extra
+    traffic over zero is no overhead (0.0), but any traffic at all over
+    zero is unboundedly worse, reported as ``inf`` rather than silently
+    folded into "no overhead".
+    """
     if baseline.dram_bytes == 0:
-        return 0.0
+        return 0.0 if result.dram_bytes == 0 else float("inf")
     return result.dram_bytes / baseline.dram_bytes - 1.0

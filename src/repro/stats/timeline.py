@@ -5,22 +5,35 @@ irregular regions, which is exactly why the paper splits it into
 sim-point traces (1152B regular, 1536B irregular).  A
 :class:`TimelineRecorder` snapshots the hierarchy every N retired
 instructions and derives per-window IPC, demand MPKI, prefetch issue
-rate and coverage — the data needed to see an IPCP class switching on
-as a phase begins.
+rate, coverage and — because the interesting signal is usually *which*
+classifier switched on — per-IPCP-class issue/useful counts: the data
+needed to see an IPCP class switching on as a phase begins.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.memsys.hierarchy import Hierarchy
 from repro.sim.cpu import Cpu
 
+# Below this demand MPKI a window is effectively idle: its misses are
+# measurement noise, not program behaviour, so two near-idle windows
+# must never register as a phase shift no matter what their ratio is.
+IDLE_MPKI = 0.1
+
 
 @dataclass(frozen=True)
 class Window:
-    """Metrics for one instruction window."""
+    """Metrics for one instruction window.
+
+    ``pf_issued_by_class``/``pf_useful_by_class`` are the window-local
+    deltas of the L1's per-class prefetch counters, frozen as sorted
+    ``(class, count)`` tuples (classes with a zero delta are omitted);
+    use :attr:`issued_by_class`/:attr:`useful_by_class` for dict views.
+    """
 
     start_instruction: int
     instructions: int
@@ -28,18 +41,40 @@ class Window:
     l1_demand_misses: int
     pf_issued: int
     pf_useful: int
+    pf_issued_by_class: tuple[tuple[int, int], ...] = ()
+    pf_useful_by_class: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        """True when the window retired no instructions."""
+        return self.instructions == 0
 
     @property
     def ipc(self) -> float:
-        """Window-local instructions per cycle."""
-        return self.instructions / self.cycles if self.cycles else 0.0
+        """Window-local instructions per cycle.
+
+        A zero-cycle window has no timing signal, so the result is
+        ``nan`` — *unknown*, not the 0.0 that timeline reports would
+        render as a fully stalled core.
+        """
+        return self.instructions / self.cycles if self.cycles else math.nan
 
     @property
     def l1_mpki(self) -> float:
-        """Window-local L1 demand MPKI."""
+        """Window-local L1 demand MPKI (``nan`` for an empty window)."""
         if not self.instructions:
-            return 0.0
+            return math.nan
         return self.l1_demand_misses * 1000.0 / self.instructions
+
+    @property
+    def issued_by_class(self) -> dict[int, int]:
+        """Window-local prefetches issued, keyed by IPCP class id."""
+        return dict(self.pf_issued_by_class)
+
+    @property
+    def useful_by_class(self) -> dict[int, int]:
+        """Window-local useful prefetches, keyed by IPCP class id."""
+        return dict(self.pf_useful_by_class)
 
 
 class TimelineRecorder:
@@ -63,6 +98,8 @@ class TimelineRecorder:
             stats.demand_misses,
             stats.pf_issued,
             stats.pf_useful,
+            dict(stats.pf_issued_by_class),
+            dict(stats.pf_useful_by_class),
         )
 
     def run(self, records) -> list[Window]:
@@ -79,7 +116,8 @@ class TimelineRecorder:
 
     def _snapshot(self) -> None:
         stats = self.hierarchy.l1d.stats
-        retired, cycle, misses, issued, useful = self._last
+        (retired, cycle, misses, issued, useful,
+         issued_by_class, useful_by_class) = self._last
         self.windows.append(Window(
             start_instruction=retired,
             instructions=self.cpu.retired - retired,
@@ -87,24 +125,60 @@ class TimelineRecorder:
             l1_demand_misses=stats.demand_misses - misses,
             pf_issued=stats.pf_issued - issued,
             pf_useful=stats.pf_useful - useful,
+            pf_issued_by_class=_class_delta(
+                stats.pf_issued_by_class, issued_by_class
+            ),
+            pf_useful_by_class=_class_delta(
+                stats.pf_useful_by_class, useful_by_class
+            ),
         ))
         self._mark()
 
 
-def phase_shift_windows(windows: list[Window], factor: float = 2.0
-                        ) -> list[int]:
+def _class_delta(current: dict[int, int], previous: dict[int, int]
+                 ) -> tuple[tuple[int, int], ...]:
+    """Window-local per-class counter delta as a sorted, sparse tuple."""
+    return tuple(sorted(
+        (cls, count - previous.get(cls, 0))
+        for cls, count in current.items()
+        if count - previous.get(cls, 0)
+    ))
+
+
+def phase_shift_windows(windows: list[Window], factor: float = 2.0,
+                        min_mpki: float = IDLE_MPKI) -> list[int]:
     """Indexes where the window MPKI jumps by more than ``factor``x.
 
     A cheap phase-change detector: window *i* is flagged when its MPKI
-    differs from window *i-1* by the given multiplicative factor (in
-    either direction).
+    differs from the previous measurable window's by the given
+    multiplicative factor (in either direction).
+
+    Two guards keep the detector honest at the quiet end:
+
+    * both MPKIs are clamped up to ``min_mpki`` before the ratio test,
+      so two effectively idle windows (say 0.0 and 0.001 misses per
+      kilo-instruction) compare equal instead of registering a
+      thousand-fold "shift" between two flavours of nothing — pass
+      ``min_mpki=0`` to recover the raw ratio behaviour;
+    * empty windows (zero instructions — their MPKI is ``nan``) carry
+      no signal at all: they are never flagged and never serve as the
+      comparison baseline for the next window.
     """
     if factor <= 1.0:
         raise ConfigurationError("factor must exceed 1.0")
+    if min_mpki < 0.0:
+        raise ConfigurationError("min_mpki must be >= 0")
+    floor = max(min_mpki, 1e-6)
     shifts = []
-    for i in range(1, len(windows)):
-        prev = max(windows[i - 1].l1_mpki, 1e-6)
-        cur = max(windows[i].l1_mpki, 1e-6)
-        if cur / prev >= factor or prev / cur >= factor:
-            shifts.append(i)
+    prev_mpki: float | None = None
+    for i, window in enumerate(windows):
+        if window.empty:
+            continue
+        mpki = window.l1_mpki
+        if prev_mpki is not None:
+            prev = max(prev_mpki, floor)
+            cur = max(mpki, floor)
+            if cur / prev >= factor or prev / cur >= factor:
+                shifts.append(i)
+        prev_mpki = mpki
     return shifts

@@ -1,0 +1,99 @@
+"""Typed decision events emitted by the IPCP stack.
+
+One flat, frozen dataclass covers every event kind so streams stay
+picklable (for the result cache), hashable (for dedup in tests) and
+trivially serializable to JSONL/CSV.  Unused fields keep their
+defaults and are omitted from the JSON form.
+
+Event kinds and the fields they populate:
+
+``classify``
+    An IP was (re)classified: the bouquet walk picked a different
+    winning class for this IP than the last time it issued.
+    Fields: ``ip``, ``pf_class`` (new class), ``prev_class`` (previous
+    winning class, ``0``/NONE for a first classification), ``cycle``.
+``issue``
+    A prefetch from this level's prefetcher was issued and filled
+    (fires from the cache's fill feedback, so per-class issue counts
+    reconcile exactly with ``CacheStats.pf_issued_by_class``).
+    Fields: ``addr``, ``pf_class``, ``ip``/``cycle`` of the triggering
+    access.
+``drop``
+    A candidate prefetch was suppressed before reaching the cache.
+    ``reason`` is one of :data:`DROP_RR` (recent-request filter hit,
+    with the dropped ``addr``), :data:`DROP_PAGE` (target outside the
+    trigger's 4 KB page) or :data:`DROP_THROTTLE` (one event per
+    truncated burst: the class degree ``degree`` is below its default
+    ``prev_degree``, so ``prev_degree - degree`` candidates were never
+    generated).
+``useful``
+    A demand access hit a block this level's prefetcher brought in
+    (reconciles exactly with ``CacheStats.pf_useful_by_class``).
+    Fields: ``addr``, ``pf_class``.
+``epoch``
+    A per-class accuracy epoch closed (every 256 fills): ``pf_class``,
+    measured ``accuracy``, ``prev_degree`` -> ``degree``.
+``meta``
+    An L1 prefetch arrived at the L2 carrying the 9-bit class
+    metadata packet: ``reason`` is the decoded class name
+    (``cs``/``gs``/``nl``/``none``), ``stride`` the decoded 7-bit
+    stride, ``ip``/``addr`` from the arriving request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+CLASSIFY = "classify"
+ISSUE = "issue"
+DROP = "drop"
+USEFUL = "useful"
+EPOCH = "epoch"
+META = "meta"
+
+EVENT_KINDS = (CLASSIFY, ISSUE, DROP, USEFUL, EPOCH, META)
+
+DROP_RR = "rr_hit"
+DROP_PAGE = "page_bound"
+DROP_THROTTLE = "throttle"
+
+DROP_REASONS = (DROP_RR, DROP_PAGE, DROP_THROTTLE)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One decision-level event (see module docstring for the schema)."""
+
+    kind: str
+    level: str = "l1"
+    cycle: int = 0
+    ip: int = 0
+    addr: int = 0
+    pf_class: int = 0
+    prev_class: int = 0
+    reason: str = ""
+    accuracy: float = -1.0
+    degree: int = 0
+    prev_degree: int = 0
+    stride: int = 0
+
+    def to_dict(self) -> dict:
+        """Compact dict form: defaulted fields are omitted (kind stays)."""
+        out = {"kind": self.kind, "level": self.level}
+        for spec in _OPTIONAL_FIELDS:
+            value = getattr(self, spec.name)
+            if value != spec.default:
+                out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Event":
+        """Inverse of :meth:`to_dict` (unknown keys rejected by the ctor)."""
+        return cls(**data)
+
+
+_OPTIONAL_FIELDS = tuple(
+    spec for spec in fields(Event) if spec.name not in ("kind", "level")
+)
+
+EVENT_FIELDS = tuple(spec.name for spec in fields(Event))

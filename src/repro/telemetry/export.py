@@ -1,0 +1,34 @@
+"""Event-stream exporters: JSONL (canonical) and CSV (flat).
+
+JSONL is the interchange format — ``repro trace --out events.jsonl``
+writes it, ``repro trace --replay events.jsonl`` reads it back, and the
+CI smoke job asserts it parses.  Each line is one compact JSON object
+with defaulted fields omitted (see :meth:`repro.telemetry.events.
+Event.to_dict`).  CSV keeps every column so spreadsheet tooling gets a
+rectangular table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.stats.export import read_jsonl, write_csv, write_jsonl
+from repro.telemetry.events import EVENT_FIELDS, Event
+
+
+def write_events_jsonl(path: str, events: Iterable[Event]) -> None:
+    """Write an event stream as JSON-lines."""
+    write_jsonl(path, (event.to_dict() for event in events))
+
+
+def read_events_jsonl(path: str) -> list[Event]:
+    """Read an event stream written by :func:`write_events_jsonl`."""
+    return [Event.from_dict(row) for row in read_jsonl(path)]
+
+
+def write_events_csv(path: str, events: Iterable[Event]) -> None:
+    """Write an event stream as a flat CSV with every event field."""
+    rows = [
+        [getattr(event, name) for name in EVENT_FIELDS] for event in events
+    ]
+    write_csv(path, list(EVENT_FIELDS), rows)

@@ -1,0 +1,171 @@
+"""Recorder protocol, the in-memory event log and stream analysis.
+
+The base :class:`Recorder` *is* the null recorder: ``enabled`` is
+False and ``emit`` discards.  Every instrumented hot path hoists the
+flag into a local and guards emissions with it, so the default
+configuration pays one attribute load per guarded site and allocates
+nothing — simulation statistics stay bit-identical to a build without
+telemetry.
+
+:func:`reconcile` is the correctness contract of the whole layer: with
+recording on, the per-class ``issue``/``useful`` event counts must
+equal the cache hierarchy's ``pf_issued_by_class`` /
+``pf_useful_by_class`` counters *exactly* — both fire from the same
+cache feedback edges, so any daylight between them is a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.events import DROP, EPOCH, ISSUE, META, USEFUL, Event
+
+
+class Recorder:
+    """Null recorder: the zero-overhead default sink.
+
+    Subclasses set ``enabled`` True and override :meth:`emit`.
+    Components treat ``enabled`` as the master switch and skip event
+    construction entirely when it is False.
+    """
+
+    enabled = False
+
+    def emit(self, event: Event) -> None:
+        """Record one event (no-op here)."""
+
+    def reset(self) -> None:
+        """Forget everything recorded so far (no-op here).
+
+        :func:`repro.sim.engine.simulate` calls this at the end of
+        warm-up, alongside ``Hierarchy.reset_stats()``, so an event
+        stream covers exactly the measured region of interest and
+        reconciles against the ROI counters.
+        """
+
+
+NULL_RECORDER = Recorder()
+
+
+class EventLog(Recorder):
+    """In-memory recorder: appends every event to :attr:`events`."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def reset(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _by_class(events, kind: str, level: str) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    for event in events:
+        if event.kind == kind and event.level == level:
+            counts[event.pf_class] = counts.get(event.pf_class, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """Aggregate view of one event stream (what ``repro trace`` prints)."""
+
+    total: int
+    kinds: tuple[tuple[str, int], ...]
+    issued_by_class: tuple[tuple[str, int, int], ...]  # (level, class, n)
+    useful_by_class: tuple[tuple[str, int, int], ...]
+    drops_by_reason: tuple[tuple[str, int], ...]
+    epochs: int
+    meta_by_class: tuple[tuple[str, int], ...]
+
+
+def summarize(events) -> StreamSummary:
+    """Reduce an event stream to the counts a human wants first."""
+    events = list(events)
+    kinds: dict[str, int] = {}
+    drops: dict[str, int] = {}
+    metas: dict[str, int] = {}
+    issued: dict[tuple[str, int], int] = {}
+    useful: dict[tuple[str, int], int] = {}
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        if event.kind == DROP:
+            drops[event.reason] = drops.get(event.reason, 0) + 1
+        elif event.kind == META:
+            metas[event.reason] = metas.get(event.reason, 0) + 1
+        elif event.kind == ISSUE:
+            key = (event.level, event.pf_class)
+            issued[key] = issued.get(key, 0) + 1
+        elif event.kind == USEFUL:
+            key = (event.level, event.pf_class)
+            useful[key] = useful.get(key, 0) + 1
+    return StreamSummary(
+        total=len(events),
+        kinds=tuple(sorted(kinds.items())),
+        issued_by_class=tuple(
+            (level, cls, n) for (level, cls), n in sorted(issued.items())
+        ),
+        useful_by_class=tuple(
+            (level, cls, n) for (level, cls), n in sorted(useful.items())
+        ),
+        drops_by_reason=tuple(sorted(drops.items())),
+        epochs=kinds.get(EPOCH, 0),
+        meta_by_class=tuple(sorted(metas.items())),
+    )
+
+
+def reconcile(events, result) -> list[str]:
+    """Diff an event stream against a run's per-class cache counters.
+
+    ``result`` is a :class:`repro.sim.engine.SimResult` (duck-typed so
+    this module stays dependency-free).  Returns one human-readable
+    mismatch per drifting (level, metric, class) triple; an empty list
+    means the stream accounts for every counted prefetch exactly.
+    """
+    mismatches: list[str] = []
+    for level in ("l1", "l2"):
+        stats = getattr(result, level, None)
+        if stats is None:
+            continue
+        pairs = (
+            ("issue", ISSUE, dict(stats.pf_issued_by_class)),
+            ("useful", USEFUL, dict(stats.pf_useful_by_class)),
+        )
+        for label, kind, counters in pairs:
+            from_events = _by_class(events, kind, level)
+            for cls in sorted(set(counters) | set(from_events)):
+                want = counters.get(cls, 0)
+                got = from_events.get(cls, 0)
+                if want != got:
+                    mismatches.append(
+                        f"{level}/{label}/class{cls}: "
+                        f"{got} events vs {want} counted"
+                    )
+    return mismatches
+
+
+@dataclass(frozen=True)
+class TraceRunResult:
+    """Payload of one ``trace``-kind job: the run plus its ROI events.
+
+    Picklable end to end (``Event`` is a frozen dataclass and the
+    ``result`` is a plain :class:`~repro.sim.engine.SimResult`), so
+    traced cells flow through the persistent result cache and the
+    checkpoint journal exactly like untraced ones.
+    """
+
+    result: object
+    events: tuple = field(default=())
+
+    def summary(self) -> StreamSummary:
+        return summarize(self.events)
+
+    def reconcile(self) -> list[str]:
+        return reconcile(self.events, self.result)

@@ -97,6 +97,66 @@ class TestTraceFileCommands:
         assert code == 0
 
 
+class TestTelemetryCommands:
+    def test_trace_reconciles_and_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "events.jsonl")
+        code = main(["trace", "--workload", "bwaves_like", "--scale", "0.1",
+                     "--out", out, "--no-cache"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "reconcile OK" in text
+        assert "issue" in text and "useful" in text
+        with open(out) as fh:
+            events = [json.loads(line) for line in fh]
+        assert events
+        assert {"issue", "useful", "drop", "meta"} <= {
+            e["kind"] for e in events
+        }
+
+    def test_trace_replay_summarizes_a_stream(self, tmp_path, capsys):
+        out = str(tmp_path / "events.jsonl")
+        assert main(["trace", "--workload", "bwaves_like", "--scale", "0.1",
+                     "--out", out, "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--replay", out]) == 0
+        text = capsys.readouterr().out
+        assert "events" in text and "issue" in text
+
+    def test_trace_csv_export(self, tmp_path, capsys):
+        import csv
+
+        out = str(tmp_path / "events.csv")
+        assert main(["trace", "--workload", "bwaves_like", "--scale", "0.1",
+                     "--out", out, "--no-cache"]) == 0
+        with open(out) as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows and "pf_class" in rows[0]
+
+    def test_trace_without_workload_or_replay_errors(self, capsys):
+        code = main(["trace", "--no-cache"])
+        assert code != 0
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_jobs_flow_through_the_cache(self, tmp_path, capsys):
+        argv = ["trace", "--workload", "bwaves_like", "--scale", "0.1",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        # Warm invocation replays the cached TraceRunResult verbatim.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_profile_prints_phase_tables(self, capsys):
+        code = main(["profile", "--workload", "bwaves_like",
+                     "--scale", "0.05", "--top", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warmup" in out and "roi" in out
+        assert "tottime" in out and "cpu.py" in out
+
+
 class TestRunnerOptions:
     def test_compare_with_jobs_and_cache(self, tmp_path, capsys):
         argv = ["compare", "--workloads", "bwaves_like,gcc_like",

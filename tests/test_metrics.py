@@ -95,8 +95,14 @@ class TestDramOverhead:
         base = make_result(dram_reads=100)
         assert dram_traffic_overhead(pf, base) == pytest.approx(0.16)
 
-    def test_zero_baseline_returns_zero(self):
+    def test_zero_over_zero_is_no_overhead(self):
         assert dram_traffic_overhead(make_result(), make_result()) == 0.0
+
+    def test_traffic_over_zero_baseline_is_infinite(self):
+        # Regression: any traffic over a traffic-free baseline used to
+        # report as 0.0 ("no overhead"); it is unboundedly worse.
+        pf = make_result(dram_reads=10)
+        assert dram_traffic_overhead(pf, make_result()) == float("inf")
 
 
 class TestFormatTable:

@@ -1,0 +1,303 @@
+"""Tests for the decision-level telemetry layer.
+
+The two contracts that matter:
+
+* **off-path**: with the default null recorder (or even a live event
+  log) attached, simulation results are bit-identical to a run with no
+  telemetry wiring at all — telemetry observes, never participates;
+* **reconciliation**: with recording on, per-class ``issue``/``useful``
+  event counts equal the cache hierarchy's ``pf_issued_by_class`` /
+  ``pf_useful_by_class`` counters exactly, at both the L1 and the L2.
+"""
+
+import csv
+import pickle
+
+import pytest
+
+from repro.core import IpcpL1
+from repro.core.ipcp_l1 import PfClass
+from repro.errors import ConfigurationError
+from repro.prefetchers import make_prefetcher
+from repro.sim.engine import simulate
+from repro.telemetry import (
+    CLASSIFY,
+    DROP,
+    DROP_RR,
+    EPOCH,
+    EVENT_KINDS,
+    ISSUE,
+    META,
+    NULL_RECORDER,
+    USEFUL,
+    Event,
+    EventLog,
+    Recorder,
+    TraceRunResult,
+    reconcile,
+    summarize,
+)
+from repro.telemetry.events import DROP_REASONS
+from repro.telemetry.export import (
+    read_events_jsonl,
+    write_events_csv,
+    write_events_jsonl,
+)
+from repro.workloads import spec_trace
+
+from conftest import make_stream_trace
+
+
+def simulate_ipcp(trace, recorder=None, warmup=None):
+    """One ipcp (L1+L2) run with an optional recorder attached."""
+    levels = make_prefetcher("ipcp")
+    built = {level: factory() for level, factory in levels.items()}
+    if recorder is not None:
+        for prefetcher in built.values():
+            prefetcher.attach_recorder(recorder)
+    return simulate(
+        trace,
+        l1_prefetcher=built.get("l1"),
+        l2_prefetcher=built.get("l2"),
+        llc_prefetcher=built.get("llc"),
+        warmup=warmup,
+        recorder=recorder,
+    )
+
+
+class TestEvent:
+    def test_to_dict_omits_defaulted_fields(self):
+        event = Event(kind=ISSUE, addr=0x1000, pf_class=1)
+        assert event.to_dict() == {
+            "kind": "issue", "level": "l1", "addr": 0x1000, "pf_class": 1,
+        }
+
+    def test_roundtrip_through_dict(self):
+        event = Event(kind=EPOCH, pf_class=3, accuracy=0.5,
+                      degree=2, prev_degree=6, cycle=99)
+        assert Event.from_dict(event.to_dict()) == event
+
+    def test_event_kinds_cover_the_schema(self):
+        assert set(EVENT_KINDS) == {
+            "classify", "issue", "drop", "useful", "epoch", "meta",
+        }
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        events = [
+            Event(kind=CLASSIFY, ip=0x400, pf_class=1, prev_class=4),
+            Event(kind=DROP, reason=DROP_RR, addr=0x40, cycle=7),
+            Event(kind=META, level="l2", reason="cs", stride=-3),
+        ]
+        path = str(tmp_path / "events.jsonl")
+        write_events_jsonl(path, events)
+        assert read_events_jsonl(path) == events
+
+    def test_csv_has_every_column(self, tmp_path):
+        path = str(tmp_path / "events.csv")
+        write_events_csv(path, [Event(kind=ISSUE, addr=64, pf_class=1)])
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 1
+        assert rows[0]["kind"] == "issue"
+        assert rows[0]["addr"] == "64"
+        assert "accuracy" in rows[0]
+
+
+class TestRecorder:
+    def test_null_recorder_is_disabled_and_discards(self):
+        assert NULL_RECORDER.enabled is False
+        NULL_RECORDER.emit(Event(kind=ISSUE))  # no-op, no error
+        NULL_RECORDER.reset()
+
+    def test_event_log_records_and_resets(self):
+        log = EventLog()
+        assert log.enabled is True
+        log.emit(Event(kind=ISSUE))
+        log.emit(Event(kind=USEFUL))
+        assert len(log) == 2
+        log.reset()
+        assert len(log) == 0
+
+    def test_base_recorder_is_the_protocol(self):
+        assert isinstance(NULL_RECORDER, Recorder)
+        assert isinstance(EventLog(), Recorder)
+
+
+class TestOffPath:
+    """Attaching telemetry must never change what the simulator computes."""
+
+    def test_null_recorder_results_bit_identical(self):
+        trace = spec_trace("bwaves_like", 0.1)
+        plain = simulate_ipcp(trace)
+        nulled = simulate_ipcp(trace, recorder=NULL_RECORDER)
+        assert pickle.dumps(plain) == pickle.dumps(nulled)
+
+    def test_recording_on_results_bit_identical(self):
+        trace = spec_trace("bwaves_like", 0.1)
+        plain = simulate_ipcp(trace)
+        traced = simulate_ipcp(trace, recorder=EventLog())
+        assert pickle.dumps(plain) == pickle.dumps(traced)
+
+
+class TestReconciliation:
+    def test_issue_and_useful_reconcile_exactly(self):
+        trace = spec_trace("bwaves_like", 0.1)
+        log = EventLog()
+        result = simulate_ipcp(trace, recorder=log)
+        assert result.l1.pf_issued > 0  # the run actually prefetched
+        assert reconcile(log.events, result) == []
+
+    def test_reconcile_spots_a_missing_event(self):
+        trace = spec_trace("bwaves_like", 0.1)
+        log = EventLog()
+        result = simulate_ipcp(trace, recorder=log)
+        issues = [e for e in log.events if e.kind == ISSUE]
+        truncated = [e for e in log.events if e is not issues[0]]
+        mismatches = reconcile(truncated, result)
+        assert len(mismatches) == 1
+        assert "issue" in mismatches[0]
+
+    def test_stream_covers_both_levels(self):
+        trace = spec_trace("bwaves_like", 0.1)
+        log = EventLog()
+        simulate_ipcp(trace, recorder=log)
+        levels = {e.level for e in log.events if e.kind == ISSUE}
+        assert levels == {"l1", "l2"}
+
+    def test_summary_matches_counters(self):
+        trace = spec_trace("bwaves_like", 0.1)
+        log = EventLog()
+        result = simulate_ipcp(trace, recorder=log)
+        summary = summarize(log.events)
+        issued_l1 = sum(n for level, _, n in summary.issued_by_class
+                        if level == "l1")
+        useful_l1 = sum(n for level, _, n in summary.useful_by_class
+                        if level == "l1")
+        assert issued_l1 == result.l1.pf_issued
+        assert useful_l1 == result.l1.pf_useful
+
+
+class TestEventSemantics:
+    def test_drop_reasons_are_in_the_schema(self):
+        log = EventLog()
+        simulate_ipcp(spec_trace("bwaves_like", 0.1), recorder=log)
+        reasons = {e.reason for e in log.events if e.kind == DROP}
+        assert reasons  # the RR filter and page bound both fire
+        assert reasons <= set(DROP_REASONS)
+
+    def test_rr_drop_events_match_the_counter(self):
+        # warmup=0 so the ROI-scoped event stream covers the same span
+        # as the prefetcher's whole-run bump counter.
+        trace = spec_trace("bwaves_like", 0.1)
+        log = EventLog()
+        result = simulate_ipcp(trace, recorder=log, warmup=0)
+        rr_events = sum(1 for e in log.events
+                        if e.kind == DROP and e.reason == DROP_RR)
+        assert rr_events > 0
+        assert rr_events == result.l1_prefetcher.stats["rr_filter_drops"]
+
+    def test_classification_chain_per_ip(self):
+        # A single-IP constant-stride stream: NL claims the cold IP
+        # first, CS takes over once stride confidence builds, so the
+        # classify chain must link prev_class -> pf_class per IP.
+        trace = make_stream_trace(n_loads=3_000, stride_bytes=64)
+        log = EventLog()
+        l1 = IpcpL1(recorder=log)
+        simulate(trace, l1_prefetcher=l1, warmup=0, recorder=log)
+        classifies = [e for e in log.events if e.kind == CLASSIFY]
+        assert classifies, "a trained stream must classify its IP"
+        by_ip: dict[int, int] = {}
+        for event in classifies:
+            assert event.pf_class != event.prev_class
+            assert event.prev_class == by_ip.get(event.ip, 0)
+            by_ip[event.ip] = event.pf_class
+        assert PfClass.CS in {e.pf_class for e in classifies}
+
+    def test_epoch_events_carry_accuracy_and_degrees(self):
+        # Drive the cache-feedback edge directly: 256 CS fills with 25%
+        # hits closes one epoch below the low watermark, so the degree
+        # must step down and the event must record the transition.
+        from repro.core.throttle import EPOCH_FILLS
+
+        log = EventLog()
+        l1 = IpcpL1(recorder=log)
+        for i in range(EPOCH_FILLS):
+            if i % 4 == 0:
+                l1.on_prefetch_hit(addr=i << 6, pf_class=int(PfClass.CS))
+            l1.on_prefetch_fill(addr=i << 6, pf_class=int(PfClass.CS))
+        epochs = [e for e in log.events if e.kind == EPOCH]
+        assert len(epochs) == 1
+        event = epochs[0]
+        assert event.pf_class == int(PfClass.CS)
+        assert event.accuracy == pytest.approx(0.25)
+        assert event.prev_degree == 3 and event.degree == 2
+
+    def test_recorder_reset_scopes_events_to_the_roi(self):
+        trace = make_stream_trace(n_loads=4_000, stride_bytes=64)
+        log = EventLog()
+        l1 = IpcpL1()
+        l1.attach_recorder(log)
+        simulate(trace, l1_prefetcher=l1, warmup=2_000, recorder=log)
+        roi_only = len(log.events)
+        log2 = EventLog()
+        l1b = IpcpL1()
+        l1b.attach_recorder(log2)
+        simulate(trace, l1_prefetcher=l1b, warmup=0, recorder=log2)
+        assert 0 < roi_only < len(log2.events)
+
+
+class TestTraceJob:
+    def test_trace_job_kind_and_distinct_cache_key(self):
+        from repro.runner import levels_job, trace_job
+
+        trace = make_stream_trace(n_loads=500)
+        plain = levels_job(trace, "ipcp")
+        traced = trace_job(trace, "ipcp")
+        assert traced.kind == "trace"
+        assert traced.cache_key() != plain.cache_key()
+
+    def test_traced_cells_cache_and_replay(self, tmp_path):
+        from repro.runner import ResultCache, SimulationRunner, trace_job
+
+        spec = trace_job(spec_trace("bwaves_like", 0.08), "ipcp")
+        cache = ResultCache(str(tmp_path / "cache"))
+        cold = SimulationRunner(jobs=1, cache=cache)
+        first = cold.run([spec])[0]
+        assert cold.simulations_run == 1
+        assert isinstance(first, TraceRunResult)
+        assert first.reconcile() == []
+        warm = SimulationRunner(jobs=1, cache=cache)
+        second = warm.run([spec])[0]
+        assert warm.simulations_run == 0
+        assert second.events == first.events
+        assert pickle.dumps(second.result) == pickle.dumps(first.result)
+
+
+class TestProfiling:
+    def test_profile_phases_cover_warmup_and_roi(self):
+        from repro.telemetry.profiling import profile_phases
+
+        trace = make_stream_trace(n_loads=2_000)
+        profiles = profile_phases(trace, l1_prefetcher=IpcpL1(), top=5)
+        assert [p.phase for p in profiles] == ["warmup", "roi"]
+        for profile in profiles:
+            assert profile.instructions > 0 and profile.cycles > 0
+            assert 1 <= len(profile.functions) <= 5
+            assert len(profile.rows()) == len(profile.functions)
+
+    def test_profile_job_rejects_other_kinds(self):
+        from repro.runner.job import alone_ipc_job
+        from repro.telemetry.profiling import profile_job
+
+        from repro.params import SystemParams
+
+        spec = alone_ipc_job(make_stream_trace(n_loads=100),
+                             SystemParams(), warmup=0, roi=100, seed=1)
+        with pytest.raises(ConfigurationError):
+            profile_job(spec)
+
+    def test_top_validation(self):
+        from repro.telemetry.profiling import profile_phases
+
+        with pytest.raises(ConfigurationError):
+            profile_phases(make_stream_trace(n_loads=100), top=0)

@@ -1,5 +1,7 @@
 """Tests for windowed phase analysis."""
 
+import math
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -51,6 +53,35 @@ class TestRecorder:
         # Later windows (trained) cover misses.
         assert windows[-1].pf_useful > 0
 
+    def test_per_class_window_deltas_sum_to_totals(self):
+        from repro.core import IpcpL1
+        trace = make_stream_trace(n_loads=4_000)
+        hierarchy = build_hierarchy(SystemParams(), l1_prefetcher=IpcpL1())
+        cpu = Cpu(hierarchy)
+        windows = TimelineRecorder(cpu, hierarchy, interval=1_000).run(trace)
+        issued: dict[int, int] = {}
+        useful: dict[int, int] = {}
+        for window in windows:
+            assert sum(window.issued_by_class.values()) == window.pf_issued
+            assert sum(window.useful_by_class.values()) == window.pf_useful
+            for cls, count in window.pf_issued_by_class:
+                issued[cls] = issued.get(cls, 0) + count
+            for cls, count in window.pf_useful_by_class:
+                useful[cls] = useful.get(cls, 0) + count
+        assert issued == hierarchy.l1d.stats.pf_issued_by_class
+        assert useful == hierarchy.l1d.stats.pf_useful_by_class
+
+    def test_zero_cycle_window_has_nan_ipc(self):
+        window = Window(0, 0, 0, 0, 0, 0)
+        assert window.empty
+        assert math.isnan(window.ipc)
+        assert math.isnan(window.l1_mpki)
+
+    def test_busy_window_is_not_empty(self):
+        window = Window(0, 1000, 2000, 5, 0, 0)
+        assert not window.empty
+        assert window.ipc == 0.5
+
 
 class TestPhaseDetection:
     def test_detects_mpki_jump(self):
@@ -66,6 +97,38 @@ class TestPhaseDetection:
     def test_factor_validation(self):
         with pytest.raises(ConfigurationError):
             phase_shift_windows([], factor=1.0)
+
+    def test_min_mpki_validation(self):
+        with pytest.raises(ConfigurationError):
+            phase_shift_windows([], min_mpki=-0.1)
+
+    def test_no_spurious_shift_between_near_idle_windows(self):
+        # Regression: 0.0 MPKI followed by 0.001 MPKI used to be a
+        # thousand-fold "shift" once both were clamped to 1e-6; with the
+        # absolute floor both windows are idle and compare equal.
+        silent = Window(0, 1_000_000, 1_000_000, 0, 0, 0)
+        near_idle = Window(1_000_000, 1_000_000, 1_000_000, 1, 0, 0)
+        assert phase_shift_windows([silent, near_idle]) == []
+        assert phase_shift_windows([near_idle, silent]) == []
+
+    def test_min_mpki_zero_restores_raw_ratio_behaviour(self):
+        silent = Window(0, 1_000_000, 1_000_000, 0, 0, 0)
+        near_idle = Window(1_000_000, 1_000_000, 1_000_000, 1, 0, 0)
+        assert phase_shift_windows([silent, near_idle], min_mpki=0) == [1]
+
+    def test_shift_out_of_idle_is_still_detected(self):
+        idle = Window(0, 1000, 1000, 0, 0, 0)
+        stormy = Window(1000, 1000, 3000, 200, 0, 0)
+        assert phase_shift_windows([idle, stormy]) == [1]
+
+    def test_empty_windows_are_skipped_not_flagged(self):
+        calm = Window(0, 1000, 1000, 50, 0, 0)
+        empty = Window(1000, 0, 0, 0, 0, 0)
+        # The empty window neither registers a shift nor becomes the
+        # baseline: calm / empty / calm is one stable phase.
+        assert phase_shift_windows([calm, empty, calm]) == []
+        stormy = Window(2000, 1000, 3000, 200, 0, 0)
+        assert phase_shift_windows([calm, empty, stormy]) == [2]
 
     def test_mixed_workload_has_phases(self):
         # xz alternates hot-set, chase and stream episodes.
