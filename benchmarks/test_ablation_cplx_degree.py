@@ -15,6 +15,10 @@ from repro.sim.engine import simulate
 from repro.stats import format_table, geometric_mean
 from repro.workloads import spec_trace
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("abl-cplx-degree",)
+
+
 DEGREES = (1, 2, 3, 4, 6)
 
 

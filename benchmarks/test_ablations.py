@@ -11,6 +11,10 @@ from repro.sim.engine import simulate
 from repro.stats import format_table, geometric_mean
 from repro.workloads import spec_trace
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("abl-gs-degree", "abl-nl-gate", "abl-rr-filter", "abl-throttling")
+
+
 TRACES = ["lbm_like", "bwaves_like", "wrf_like", "omnetpp_like"]
 SCALE = 0.4
 

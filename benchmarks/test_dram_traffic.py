@@ -11,6 +11,10 @@ from conftest import once
 from repro.stats import format_table
 from repro.stats.metrics import dram_traffic_overhead, geometric_mean
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("abl-dram-traffic",)
+
+
 CONFIGS = ["ipcp", "spp_ppf_dspatch", "mlop", "tskid"]
 PAPER_OVERHEAD = {"ipcp": 0.161, "spp_ppf_dspatch": 0.28,
                   "mlop": 0.28, "tskid": 0.38}

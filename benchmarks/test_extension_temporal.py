@@ -18,6 +18,10 @@ from repro.analysis import run_levels
 from repro.stats import format_table
 from repro.workloads.spec import extension_trace, spec_trace
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("abl-temporal",)
+
+
 CONFIGS = ["none", "ipcp", "ipcp_temporal", "isb", "domino", "triage"]
 
 

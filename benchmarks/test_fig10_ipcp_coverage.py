@@ -9,6 +9,10 @@ from conftest import once
 
 from repro.stats import format_table
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("fig10-coverage",)
+
+
 
 def miss_reduction(result, baseline, level):
     """The paper's coverage: demand-miss reduction vs no prefetching."""

@@ -8,6 +8,10 @@ from conftest import once
 
 from repro.stats import format_table
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("fig11-overprediction",)
+
+
 
 def collect(runner):
     rows = []

@@ -9,6 +9,10 @@ from conftest import once
 
 from repro.stats import class_contributions, format_table
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("fig12-class-mix",)
+
+
 CLASSES = ["cs", "cplx", "gs", "nl"]
 
 

@@ -13,6 +13,10 @@ from repro.core import IpcpConfig, IpcpL1, IpcpL2
 from repro.sim.engine import simulate
 from repro.stats import format_table, geometric_mean
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("fig13a-class-utility", "fig13a-metadata")
+
+
 VARIANTS = {
     "cs_only": lambda: (IpcpL1(IpcpConfig(
         enable_cplx=False, enable_gs=False, enable_nl=False)), None),

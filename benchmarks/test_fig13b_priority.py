@@ -11,6 +11,10 @@ from repro.core.ipcp_l1 import PfClass
 from repro.sim.engine import simulate
 from repro.stats import format_table, geometric_mean
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("fig13b-priority",)
+
+
 ORDERS = {
     "gs_cs_cplx_nl (paper)": (
         PfClass.GS, PfClass.CS, PfClass.CPLX, PfClass.NL),

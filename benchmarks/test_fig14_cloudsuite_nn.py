@@ -20,6 +20,10 @@ from repro.workloads import cloudsuite_suite, neural_suite
 from repro.workloads.cloudsuite import CLOUDSUITE_BENCHMARKS, \
     cloudsuite_trace
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("fig14a-cloudsuite", "fig14b-neural")
+
+
 CONFIGS = ["ipcp", "spp_ppf_dspatch", "mlop", "bingo", "tskid"]
 
 MC_CONFIGS = {

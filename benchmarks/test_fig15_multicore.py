@@ -18,6 +18,10 @@ from repro.stats import format_table, geometric_mean, \
     normalized_weighted_speedup
 from repro.workloads import heterogeneous_mixes, homogeneous_mix
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("fig15-multicore",)
+
+
 HOMOGENEOUS = ["lbm_like", "fotonik_like", "bwaves_like", "omnetpp_like"]
 
 CONFIGS = {

@@ -15,6 +15,10 @@ from repro.prefetchers.mlop import MlopPrefetcher
 from repro.sim.engine import simulate
 from repro.stats import format_table, geometric_mean
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("fig1-l1-placement",)
+
+
 FACTORIES = {
     "ip_stride": IpStridePrefetcher,
     "mlop": MlopPrefetcher,

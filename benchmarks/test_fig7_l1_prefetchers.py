@@ -11,6 +11,10 @@ from conftest import once
 
 from repro.stats import format_table
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("fig7-l1-comparison",)
+
+
 CONFIGS = [
     "next_line", "ip_stride", "stream", "bop", "sandbox", "asp", "vldp",
     "spp_l1", "dspatch_l1", "sms_l1", "mlop_l1", "tskid_l1", "dol_l1",

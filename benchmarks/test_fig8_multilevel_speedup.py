@@ -13,6 +13,10 @@ from conftest import once
 from repro.analysis import ExperimentRunner
 from repro.stats import format_table
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("fig8-full-suite", "fig8-multilevel")
+
+
 CONFIGS = ["ipcp", "spp_ppf_dspatch", "mlop", "bingo", "tskid", "dol"]
 
 PAPER_MEM_INTENSIVE = {

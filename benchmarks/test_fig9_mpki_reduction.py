@@ -4,6 +4,10 @@ from conftest import once
 
 from repro.stats import format_table
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("fig9-mpki",)
+
+
 CONFIGS = ["ipcp", "spp_ppf_dspatch", "mlop", "bingo", "tskid"]
 
 

@@ -20,6 +20,10 @@ from repro.prefetchers.vldp import VldpPrefetcher
 from repro.sim.engine import simulate
 from repro.stats import format_table, geometric_mean
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("abl-l2-complement",)
+
+
 L2_CHOICES = {
     "none": lambda: None,
     "spp_ppf_dspatch": spp_ppf_dspatch,

@@ -13,6 +13,10 @@ from repro.core import IpcpL1, IpcpL2
 from repro.sim.engine import simulate
 from repro.stats import format_table, geometric_mean
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("abl-llc",)
+
+
 
 def sweep(mem_suite):
     results = {}

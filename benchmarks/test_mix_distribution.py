@@ -17,6 +17,10 @@ from repro.stats import format_table, geometric_mean, \
     normalized_weighted_speedup
 from repro.workloads import heterogeneous_mixes
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("abl-mix-distribution",)
+
+
 CONFIGS = {
     "ipcp": {"l1": IpcpL1, "l2": IpcpL2},
     "mlop": {"l1": MlopPrefetcher,

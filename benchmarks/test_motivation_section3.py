@@ -13,6 +13,10 @@ from conftest import once
 from repro.analysis.tracestats import analyze_trace
 from repro.stats import format_table
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("abl-motivation",)
+
+
 CLASSES = ["constant_stride", "complex_stride", "irregular", "singleton"]
 
 

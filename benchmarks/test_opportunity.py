@@ -11,6 +11,10 @@ from conftest import once
 from repro.sim.engine import simulate_ideal
 from repro.stats import format_table
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("abl-opportunity",)
+
+
 
 def collect(runner):
     rows = []

@@ -20,6 +20,10 @@ from repro.sim.multicore import simulate_mix
 from repro.stats import format_table, normalized_weighted_speedup
 from repro.workloads import spec_trace
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("abl-pathological-mix",)
+
+
 CONFIGS = {
     "ipcp": {"l1": IpcpL1, "l2": IpcpL2},
     "mlop": {"l1": MlopPrefetcher,

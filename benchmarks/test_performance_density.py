@@ -12,6 +12,10 @@ from conftest import once
 from repro.prefetchers import make_prefetcher
 from repro.stats import format_table
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("abl-density",)
+
+
 CONFIGS = ["ipcp", "spp_ppf_dspatch", "mlop", "bingo", "tskid"]
 
 

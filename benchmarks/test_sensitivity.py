@@ -22,6 +22,10 @@ from repro.sim.engine import simulate
 from repro.stats import format_table, geometric_mean
 from repro.workloads import spec_trace
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("sens-cache-sizes", "sens-dram-bandwidth", "sens-pq-mshr", "sens-replacement", "sens-table-sizes")
+
+
 TRACES = ["lbm_like", "bwaves_like", "fotonik_like", "wrf_like",
           "xz_like", "xalancbmk_like"]
 SCALE = 0.4

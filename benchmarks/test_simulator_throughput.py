@@ -19,6 +19,10 @@ from repro.runner import ResultCache, SimulationRunner, levels_job
 from repro.sim.engine import simulate
 from repro.workloads import spec_trace
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("bench-throughput",)
+
+
 
 def measure(trace, **kwargs):
     start = time.perf_counter()

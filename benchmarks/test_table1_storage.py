@@ -9,6 +9,10 @@ from conftest import once
 from repro.core import ipcp_storage_report
 from repro.stats import format_table
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("table1-storage",)
+
+
 
 def test_table1_storage(benchmark, emit):
     report = once(benchmark, ipcp_storage_report)

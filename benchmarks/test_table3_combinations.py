@@ -11,6 +11,10 @@ from conftest import once
 from repro.prefetchers import make_prefetcher
 from repro.stats import format_table
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("table3-storage-gap",)
+
+
 COMBINATIONS = {
     "spp_ppf_dspatch": "~32 KB L2 + 0.6 KB L1",
     "mlop": "~8 KB L1",

@@ -9,6 +9,10 @@ from conftest import once
 
 from repro.stats import format_table
 
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = ("table4-coverage-accuracy",)
+
+
 CONFIGS = ["ipcp", "spp_ppf_dspatch", "mlop", "bingo", "tskid"]
 
 PAPER = {

@@ -73,6 +73,7 @@ def build_trace(name: str, scale: float):
 
 
 def cmd_list_prefetchers(args) -> int:
+    """List every registered prefetcher configuration."""
     rows = []
     for name in available_prefetchers():
         levels = make_prefetcher(name)
@@ -87,6 +88,7 @@ def cmd_list_prefetchers(args) -> int:
 
 
 def cmd_list_workloads(args) -> int:
+    """List workload names across all synthetic suites."""
     rows = []
     for name, (_, intensive, _) in SPEC_BENCHMARKS.items():
         rows.append([name, "spec", "yes" if intensive else "no"])
@@ -129,6 +131,7 @@ def parse_size(text: str) -> int:
 
 
 def cmd_run(args) -> int:
+    """Run one workload with and without a prefetcher."""
     trace = build_trace(args.workload, args.scale)
     runner = ExperimentRunner([trace], runner=make_backend(args))
     runner.ensure([(trace.name, "none"), (trace.name, args.prefetcher)])
@@ -151,6 +154,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    """Render a (trace x config) speedup table."""
     traces = [build_trace(name, args.scale)
               for name in args.workloads.split(",")]
     configs = args.prefetchers.split(",")
@@ -166,6 +170,7 @@ _SWEEP_AXES = ("dram-bandwidth", "l1-size", "l2-size", "llc-size",
 
 
 def cmd_sweep(args) -> int:
+    """Sweep one system axis and tabulate geomean speedups."""
     from repro.analysis.sweep import sweep_system
 
     traces = [build_trace(name, args.scale)
@@ -197,6 +202,7 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_analyze(args) -> int:
+    """Print a Section III access-pattern profile for a trace."""
     trace = build_trace(args.workload, args.scale)
     profile = analyze_trace(trace)
     shares = profile.class_shares()
@@ -212,6 +218,7 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_dump_trace(args) -> int:
+    """Generate a workload and write it as a trace file."""
     trace = build_trace(args.workload, args.scale)
     save_trace(trace, args.out)
     print(f"wrote {len(trace)} records ({trace.load_records} loads) "
@@ -220,6 +227,7 @@ def cmd_dump_trace(args) -> int:
 
 
 def cmd_run_trace(args) -> int:
+    """Simulate a previously dumped trace file."""
     trace = load_trace(args.trace_file)
     baseline = run_levels(trace, "none")
     result = run_levels(trace, args.prefetcher)
@@ -236,6 +244,7 @@ def cmd_run_trace(args) -> int:
 
 
 def cmd_validate(args) -> int:
+    """Audit a prefetcher config against the request contract."""
     levels = make_prefetcher(args.prefetcher)
     trace = build_trace(args.workload, args.scale)
     exit_code = 0
@@ -253,6 +262,7 @@ def cmd_validate(args) -> int:
 
 
 def cmd_report(args) -> int:
+    """Render a multi-metric report for one workload grid."""
     import os
 
     from repro.analysis.figures import ALL_FIGURES
@@ -276,6 +286,7 @@ def cmd_report(args) -> int:
 
 
 def cmd_verify(args) -> int:
+    """Run the differential verification suite (docs/verification.md)."""
     from repro.verify.golden import (
         DEFAULT_BASELINE_PATH,
         GOLDEN_SCALE,
@@ -362,6 +373,7 @@ def cmd_verify(args) -> int:
 
 
 def cmd_mix(args) -> int:
+    """Simulate a homogeneous multicore mix and print weighted speedup."""
     traces = homogeneous_mix(args.workload, args.cores, scale=args.scale)
     levels = make_prefetcher(args.prefetcher)
     backend = make_backend(args)
@@ -432,6 +444,7 @@ def _write_events(path: str, events) -> None:
 
 
 def cmd_trace(args) -> int:
+    """Record the decision-level event stream for one run."""
     from repro.runner import trace_job
     from repro.telemetry import reconcile, summarize
     from repro.telemetry.export import read_events_jsonl
@@ -464,6 +477,7 @@ def cmd_trace(args) -> int:
 
 
 def cmd_profile(args) -> int:
+    """cProfile the simulator hot loop per phase."""
     from repro.runner.job import levels_job
     from repro.telemetry.profiling import profile_job
 
@@ -566,6 +580,69 @@ def cmd_chaos(args) -> int:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
 
+def cmd_paper(args) -> int:
+    """Evaluate the paper-claim registry; regenerate doc + BENCH."""
+    import contextlib
+    import pathlib
+    import time
+
+    from repro import paperclaims
+
+    if args.list:
+        for claim in paperclaims.CLAIMS:
+            print(f"{claim.id:26} [{claim.section:11}] {claim.title}")
+        return 0
+
+    only = args.only
+    if args.mutate:
+        # The patch must reach the simulations (in-process) and must not
+        # poison the content-addressed store (cache off).
+        args.jobs = 1
+        args.no_cache = True
+        if not only:
+            only = list(paperclaims.expected_flips(args.mutate))
+        print(f"mutation {args.mutate!r}: forcing --jobs 1 --no-cache; "
+              f"claims: {', '.join(only)}")
+
+    backend = make_backend(args)
+    engine = paperclaims.ClaimEngine(
+        paperclaims.CELLS, paperclaims.CLAIMS, backend)
+
+    mutation = (paperclaims.apply_mutation(args.mutate)
+                if args.mutate else contextlib.nullcontext())
+    start = time.perf_counter()
+    with mutation:
+        report = engine.run(only=only,
+                            progress=lambda line: print(line, flush=True))
+    wall = time.perf_counter() - start
+
+    print(paperclaims.render_verdict_report(report))
+
+    drift = False
+    if not only and not args.mutate:
+        root = pathlib.Path(__file__).resolve().parents[2]
+        doc_path = root / "EXPERIMENTS.md"
+        rendered = paperclaims.render_experiments(report)
+        if args.write:
+            doc_path.write_text(rendered, encoding="utf-8")
+            print(f"wrote {doc_path}")
+        else:
+            committed = (doc_path.read_text(encoding="utf-8")
+                         if doc_path.exists() else "")
+            drift = committed != rendered
+            print("EXPERIMENTS.md "
+                  + ("is OUT OF DATE vs live results — run "
+                     "`repro paper --write`" if drift
+                     else "matches live results byte for byte"))
+        bench_path = root / "BENCH_5.json"
+        paperclaims.write_bench(report, wall, str(bench_path))
+        print(f"wrote {bench_path}")
+
+    if args.check:
+        return 1 if (not report.ok or drift) else 0
+    return 0
+
+
 def add_runner_options(parser: argparse.ArgumentParser) -> None:
     """Shared runner/resilience options for simulation commands."""
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -595,6 +672,7 @@ def add_runner_options(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for every repro subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="IPCP (ISCA 2020) reproduction toolkit",
@@ -755,6 +833,28 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--corrupt-rate", type=float, default=0.5)
     chaos.add_argument("--hang-seconds", type=float, default=30.0)
     chaos.set_defaults(func=cmd_chaos)
+
+    paper = sub.add_parser(
+        "paper",
+        help="evaluate the paper-claim registry; regenerate "
+             "EXPERIMENTS.md and BENCH_5.json",
+    )
+    paper.add_argument("--check", action="store_true",
+                       help="exit nonzero if any claim flips or "
+                            "EXPERIMENTS.md drifts from live results")
+    paper.add_argument("--write", action="store_true",
+                       help="rewrite EXPERIMENTS.md from live results")
+    paper.add_argument("--only", nargs="+", default=None, metavar="ID",
+                       help="evaluate only these claim ids "
+                            "(skips doc/BENCH handling)")
+    paper.add_argument("--list", action="store_true",
+                       help="list claim ids and exit")
+    paper.add_argument("--mutate", default=None, metavar="NAME",
+                       help="inject a seeded one-line core mutation "
+                            "(proves the harness flips); forces "
+                            "--jobs 1 --no-cache")
+    add_runner_options(paper)
+    paper.set_defaults(func=cmd_paper)
 
     mix = sub.add_parser("mix", help="homogeneous multicore mix")
     mix.add_argument("--workload", required=True)

@@ -20,6 +20,7 @@ from repro.core.ip_table import IpEntry, IpTable
 from repro.core.metadata import MetaClass, encode_metadata
 from repro.core.rr_filter import RrFilter
 from repro.core.rst import Rst
+from repro.core.storage import ipcp_storage_report
 from repro.core.temporal import TemporalTable
 from repro.core.throttle import ClassThrottle, HIGH_WATERMARK
 from repro.errors import ConfigurationError
@@ -109,9 +110,18 @@ class IpcpL1(Prefetcher):
 
     def __init__(self, config: IpcpConfig | None = None,
                  recorder: Recorder | None = None) -> None:
-        super().__init__(name="ipcp", storage_bits=L1_STORAGE_BITS)
-        self.config = config or IpcpConfig()
-        cfg = self.config
+        cfg = config or IpcpConfig()
+        # Declared storage follows the configured geometry (Table I
+        # recomputation), so resized-table variants stay honest under
+        # the verify-phase storage_budget invariant.
+        report = ipcp_storage_report(
+            ip_table_entries=cfg.ip_table_entries,
+            cspt_entries=cfg.cspt_entries,
+            rst_entries=cfg.rst_entries,
+            rr_entries=cfg.rr_entries,
+        )
+        super().__init__(name="ipcp", storage_bits=report.l1_bits)
+        self.config = cfg
         self.ip_table = IpTable(entries=cfg.ip_table_entries)
         self.cspt = Cspt(entries=cfg.cspt_entries)
         self.rst = Rst(entries=cfg.rst_entries)
@@ -162,6 +172,13 @@ class IpcpL1(Prefetcher):
     # ------------------------------------------------------------------ #
 
     def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        """Classify the IP, train all classes, emit bouquet prefetches.
+
+        Runs the full L1 pipeline on one demand access: IP-table
+        hysteresis, CS/CPLX/GS training, class arbitration by the
+        configured priority, per-class throttled degree, RR-filter
+        dedup, and metadata tagging for the L2 replayer.
+        """
         if ctx.kind == AccessType.PREFETCH:
             return []
         if self.recorder.enabled:
@@ -375,6 +392,7 @@ class IpcpL1(Prefetcher):
     # ------------------------------------------------------------------ #
 
     def on_prefetch_fill(self, addr: int, pf_class: int) -> None:
+        """Count a filled prefetch toward its class's throttle epoch."""
         if self.recorder.enabled:
             # The cache calls this exactly when it counts an issued-and-
             # filled prefetch, so `issue` events reconcile 1:1 with
@@ -388,6 +406,7 @@ class IpcpL1(Prefetcher):
             throttle.on_fill()
 
     def on_prefetch_hit(self, addr: int, pf_class: int) -> None:
+        """Credit a useful prefetch to its class's accuracy counter."""
         if self.recorder.enabled:
             self.recorder.emit(Event(
                 kind=USEFUL, level="l1", cycle=self._cur_cycle,

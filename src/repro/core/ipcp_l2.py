@@ -87,6 +87,12 @@ class IpcpL2(Prefetcher):
         return index, tag
 
     def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        """Replay the L1's classification from the metadata packet.
+
+        The L2 does not re-train: it decodes the 9-bit class/stride
+        metadata riding on each L1 prefetch and issues deeper requests
+        along the same pattern, throttled by its own accuracy counters.
+        """
         if self.recorder.enabled:
             self._cur_ip = ctx.ip
             self._cur_cycle = ctx.cycle
@@ -171,6 +177,7 @@ class IpcpL2(Prefetcher):
     # ------------------------------------------------------------------ #
 
     def on_prefetch_fill(self, addr: int, pf_class: int) -> None:
+        """Count a filled L2 prefetch toward its class's throttle."""
         if self.recorder.enabled:
             self.recorder.emit(Event(
                 kind=ISSUE, level="l2", cycle=self._cur_cycle,
@@ -178,6 +185,7 @@ class IpcpL2(Prefetcher):
             ))
 
     def on_prefetch_hit(self, addr: int, pf_class: int) -> None:
+        """Credit a useful L2 prefetch to its class's accuracy."""
         if self.recorder.enabled:
             self.recorder.emit(Event(
                 kind=USEFUL, level="l2", cycle=self._cur_cycle,

@@ -1,0 +1,75 @@
+"""Machine-checked paper claims: EXPERIMENTS.md as a build artifact.
+
+Every row of EXPERIMENTS.md is a typed :class:`~repro.paperclaims.
+claims.Claim` — ordering, band, ratio, monotonicity or exact-value
+predicates over values measured by :class:`~repro.paperclaims.cells.
+Cell` computations, which draw all simulations through the cached
+parallel runner.  ``repro paper`` evaluates the registry, regenerates
+EXPERIMENTS.md and BENCH_5.json, and ``--check`` exits nonzero on any
+claim flip or doc drift; ``--mutate`` proves the harness catches a
+seeded one-line core regression.
+"""
+
+from repro.paperclaims.bench import bench_payload, write_bench
+from repro.paperclaims.cells import (
+    Cell,
+    CellContext,
+    ClaimEngine,
+    EngineReport,
+)
+from repro.paperclaims.claims import (
+    Band,
+    Best,
+    Claim,
+    ClaimVerdict,
+    DeltaBand,
+    Exact,
+    Leader,
+    Monotonic,
+    Ordering,
+    Predicate,
+    RatioBand,
+    ScaledLeader,
+    Spread,
+)
+from repro.paperclaims.mutations import (
+    MUTATIONS,
+    apply_mutation,
+    expected_flips,
+    mutation_names,
+)
+from repro.paperclaims.registry import CELLS, CLAIMS
+from repro.paperclaims.render import (
+    render_experiments,
+    render_verdict_report,
+)
+
+__all__ = [
+    "Band",
+    "Best",
+    "CELLS",
+    "CLAIMS",
+    "Cell",
+    "CellContext",
+    "Claim",
+    "ClaimEngine",
+    "ClaimVerdict",
+    "DeltaBand",
+    "EngineReport",
+    "Exact",
+    "Leader",
+    "MUTATIONS",
+    "Monotonic",
+    "Ordering",
+    "Predicate",
+    "RatioBand",
+    "ScaledLeader",
+    "Spread",
+    "apply_mutation",
+    "bench_payload",
+    "expected_flips",
+    "mutation_names",
+    "render_experiments",
+    "render_verdict_report",
+    "write_bench",
+]

@@ -1,0 +1,61 @@
+"""BENCH_5.json: telemetry from one full claim run.
+
+The driver compares BENCH files across PRs, so the schema is additive
+and the numbers are machine-local measurements, not asserted values:
+simulator throughput, cached-replay rate, per-cell wall time and the
+claim pass counts.  No timestamps — the file should only change when
+the run actually changes.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.paperclaims.cells import EngineReport
+
+SCHEMA = "repro-bench/v1"
+PR = 5
+
+
+def bench_payload(report: EngineReport,
+                  wall_seconds: float) -> dict:
+    """The BENCH_5.json contents for one full claim run."""
+    sections = {
+        section: {"holds": good, "flipped": bad}
+        for section, (good, bad) in report.by_section().items()
+    }
+    return {
+        "schema": SCHEMA,
+        "pr": PR,
+        "claims": {
+            "total": len(report.verdicts),
+            "holds": report.passed,
+            "flipped": report.failed,
+            "by_section": sections,
+        },
+        "simulations": {
+            "executed": report.simulations_run,
+            "cache_hits": report.cache_hits,
+            "cached_replay_rate": round(report.cached_replay_rate, 4),
+        },
+        "throughput_records_per_s": {
+            "baseline": round(report.values.get("thr.baseline", 0.0), 1),
+            "ipcp": round(report.values.get("thr.ipcp", 0.0), 1),
+        },
+        "wall_seconds": {
+            "total": round(wall_seconds, 2),
+            "per_cell": {
+                cell_id: round(seconds, 2)
+                for cell_id, seconds in sorted(report.cell_seconds.items())
+            },
+        },
+    }
+
+
+def write_bench(report: EngineReport, wall_seconds: float,
+                path: str) -> None:
+    """Serialise :func:`bench_payload` to ``path`` (stable key order)."""
+    payload = bench_payload(report, wall_seconds)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")

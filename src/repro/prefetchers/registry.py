@@ -40,6 +40,7 @@ def _load_builtin_configs() -> None:
     this package, so importing it at package-init time would cycle.
     """
     import repro.prefetchers.composite  # noqa: F401 (side-effect import)
+    import repro.prefetchers.variants  # noqa: F401 (side-effect import)
 
 
 def make_prefetcher(name: str) -> LevelConfig:

@@ -1,0 +1,159 @@
+"""Named configuration variants for the paper-claims harness.
+
+The claim registry (:mod:`repro.paperclaims`) re-derives every
+EXPERIMENTS.md row from live simulations, and those simulations must be
+content-addressable: each cell is a :class:`repro.runner.JobSpec` keyed
+by a *registered configuration name*.  The benchmarks historically
+built these variants inline with ``IpcpConfig(...)``; registering them
+here makes the same cells picklable, poolable and cacheable.
+
+Grouped by the figure/section whose cells they serve:
+
+* Fig. 1   — single prefetchers placed at the L2 instead of the L1;
+* Fig. 13a — IPCP class subsets (CS/CPLX/GS alone and stacked);
+* Fig. 13b — class priority orders;
+* Section VI-B1 — generic L2 prefetchers under an IPCP L1;
+* Section V — an IPCP metadata decoder at the LLC;
+* ablations — throttling, RR filter size, NL MPKI gate, CPLX/GS
+  degrees and table-size scaling.
+"""
+
+from __future__ import annotations
+
+from repro.core.ipcp_l1 import IpcpConfig, IpcpL1, PfClass
+from repro.core.ipcp_l2 import IpcpL2
+from repro.prefetchers.bingo import BingoPrefetcher
+from repro.prefetchers.bop import BopPrefetcher
+from repro.prefetchers.composite import spp_ppf_dspatch
+from repro.prefetchers.ip_stride import IpStridePrefetcher
+from repro.prefetchers.mlop import MlopPrefetcher
+from repro.prefetchers.registry import register_prefetcher
+from repro.prefetchers.vldp import VldpPrefetcher
+
+
+def _ipcp_variant(name: str, **overrides):
+    """Register IPCP(L1+L2) with ``IpcpConfig(**overrides)`` at the L1."""
+
+    @register_prefetcher(name)
+    def _factory():
+        return {
+            "l1": lambda: IpcpL1(IpcpConfig(**overrides)),
+            "l2": lambda: IpcpL2(),
+        }
+
+    return _factory
+
+
+def _ipcp_l1_variant(name: str, **overrides):
+    """Register an L1-only IPCP with ``IpcpConfig(**overrides)``."""
+
+    @register_prefetcher(name)
+    def _factory():
+        return {"l1": lambda: IpcpL1(IpcpConfig(**overrides))}
+
+    return _factory
+
+
+# ------------------------------------------------------------------ #
+# Fig. 1: the same prefetcher placed at the L2 (training on the
+# L1-filtered stream) instead of the L1.
+# ------------------------------------------------------------------ #
+
+@register_prefetcher("ip_stride_l2")
+def _ip_stride_l2():
+    return {"l2": lambda: IpStridePrefetcher()}
+
+
+@register_prefetcher("mlop_l2")
+def _mlop_l2():
+    return {"l2": lambda: MlopPrefetcher()}
+
+
+@register_prefetcher("bingo_l2")
+def _bingo_l2():
+    return {"l2": lambda: BingoPrefetcher()}
+
+
+# ------------------------------------------------------------------ #
+# Fig. 13a: class subsets (tentative NL rides along unless disabled).
+# ------------------------------------------------------------------ #
+
+_ipcp_l1_variant("ipcp_cs_only",
+                 enable_cplx=False, enable_gs=False, enable_nl=False)
+_ipcp_l1_variant("ipcp_cplx_only",
+                 enable_cs=False, enable_gs=False, enable_nl=False)
+_ipcp_l1_variant("ipcp_gs_only",
+                 enable_cs=False, enable_cplx=False, enable_nl=False)
+_ipcp_l1_variant("ipcp_cs_cplx", enable_gs=False, enable_nl=False)
+_ipcp_l1_variant("ipcp_cs_cplx_nl", enable_gs=False)
+
+
+# ------------------------------------------------------------------ #
+# Fig. 13b: class priority orders (the default "ipcp" is GS-first).
+# ------------------------------------------------------------------ #
+
+_ipcp_variant("ipcp_cs_first", priority=(
+    PfClass.CS, PfClass.GS, PfClass.CPLX, PfClass.NL))
+_ipcp_variant("ipcp_cplx_first", priority=(
+    PfClass.CPLX, PfClass.CS, PfClass.GS, PfClass.NL))
+_ipcp_variant("ipcp_nl_first", priority=(
+    PfClass.NL, PfClass.CPLX, PfClass.CS, PfClass.GS))
+
+
+# ------------------------------------------------------------------ #
+# Ablations: throttling, RR filter, NL gate, degrees, table sizes.
+# ------------------------------------------------------------------ #
+
+_ipcp_variant("ipcp_no_throttle", throttling=False)
+_ipcp_variant("ipcp_rr8", rr_entries=8)
+_ipcp_variant("ipcp_rr128", rr_entries=128)
+_ipcp_variant("ipcp_nl_off", nl_mpki_threshold=0.0)
+_ipcp_variant("ipcp_nl_always", nl_mpki_threshold=1000.0)
+_ipcp_variant("ipcp_cplx_deg1", cplx_degree=1)
+_ipcp_variant("ipcp_cplx_deg2", cplx_degree=2)
+_ipcp_variant("ipcp_cplx_deg4", cplx_degree=4)
+_ipcp_variant("ipcp_cplx_deg6", cplx_degree=6)
+_ipcp_variant("ipcp_gs_deg2", gs_degree=2)
+_ipcp_variant("ipcp_gs_deg4", gs_degree=4)
+_ipcp_variant("ipcp_gs_deg8", gs_degree=8)
+_ipcp_variant("ipcp_tables_2x",
+              ip_table_entries=128, cspt_entries=256, rst_entries=16)
+_ipcp_variant("ipcp_tables_8x",
+              ip_table_entries=512, cspt_entries=1024, rst_entries=64)
+
+
+# ------------------------------------------------------------------ #
+# Section VI-B1: generic L2 prefetchers under a full IPCP L1.
+# ------------------------------------------------------------------ #
+
+_L2_COMPLEMENTS = {
+    "ipcp_l1_spp_l2": spp_ppf_dspatch,
+    "ipcp_l1_bop_l2": BopPrefetcher,
+    "ipcp_l1_vldp_l2": VldpPrefetcher,
+    "ipcp_l1_mlop_l2": MlopPrefetcher,
+    "ipcp_l1_ipstride_l2": IpStridePrefetcher,
+    "ipcp_l1_bingo_l2": BingoPrefetcher,
+}
+
+
+def _register_l2_complement(name: str, l2_factory) -> None:
+    @register_prefetcher(name)
+    def _factory():
+        return {"l1": lambda: IpcpL1(), "l2": lambda: l2_factory()}
+
+
+for _name, _l2 in _L2_COMPLEMENTS.items():
+    _register_l2_complement(_name, _l2)
+
+
+# ------------------------------------------------------------------ #
+# Section V: a metadata decoder at the LLC on top of IPCP L1+L2.
+# ------------------------------------------------------------------ #
+
+@register_prefetcher("ipcp_llc")
+def _ipcp_llc():
+    return {
+        "l1": lambda: IpcpL1(),
+        "l2": lambda: IpcpL2(),
+        "llc": lambda: IpcpL2(),
+    }

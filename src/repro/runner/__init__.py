@@ -31,6 +31,7 @@ from repro.runner.job import (
     default_execute,
     execute_job,
     levels_job,
+    mix_job,
     params_fingerprint,
     trace_job,
     trace_signature,
@@ -50,6 +51,7 @@ __all__ = [
     "default_execute",
     "execute_job",
     "levels_job",
+    "mix_job",
     "params_fingerprint",
     "trace_job",
     "trace_signature",

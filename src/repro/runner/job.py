@@ -29,6 +29,7 @@ from repro.sim.trace import _RECORD, Trace
 KIND_LEVELS = "levels"  # single-core (trace x registered config) cell
 KIND_ALONE_IPC = "alone-ipc"  # one core alone on the shared multicore system
 KIND_TRACE = "trace"  # a levels cell run with telemetry event recording
+KIND_MIX = "mix"  # an N-core mix of traces under one registered config
 
 _salt_cache: str | None = None
 
@@ -181,6 +182,40 @@ def trace_job(
     )
 
 
+def mix_job(
+    traces: list[Trace],
+    config_name: str,
+    params: SystemParams | None = None,
+    warmup: int = 5_000,
+    roi: int = 20_000,
+    seed: int = 1,
+) -> JobSpec:
+    """Spec for one N-core mix under one registered configuration.
+
+    The mix is self-contained: ``records`` holds one canonical record
+    tuple *per core* and ``trace_sig`` hashes the per-core signatures in
+    core order, so two mixes differing only in core placement occupy
+    different cache slots.  The worker replays the whole paper
+    methodology — shared LLC/DRAM contention plus the per-core
+    alone-IPC runs the weighted speedup needs — and returns a picklable
+    :class:`repro.sim.multicore.MixResult`.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for trace in traces:
+        digest.update(trace_signature(trace).encode())
+    return JobSpec(
+        kind=KIND_MIX,
+        trace_name="+".join(trace.name for trace in traces),
+        config_name=config_name,
+        trace_sig=digest.hexdigest(),
+        records=tuple(tuple(trace) for trace in traces),
+        params=params,
+        warmup=warmup,
+        roi=roi,
+        seed=seed,
+    )
+
+
 def alone_ipc_job(
     trace: Trace,
     params: SystemParams,
@@ -223,6 +258,27 @@ def execute_job(spec: JobSpec):
     Module-level so it is importable under every multiprocessing start
     method (fork and spawn alike).
     """
+    if spec.kind == KIND_MIX:
+        from repro.prefetchers import make_prefetcher
+        from repro.sim.multicore import simulate_mix
+
+        levels = make_prefetcher(spec.config_name)
+        traces = [
+            Trace(list(records), name=name)
+            for records, name in zip(
+                spec.records, spec.trace_name.split("+")
+            )
+        ]
+        return simulate_mix(
+            traces,
+            l1_factory=levels.get("l1"),
+            l2_factory=levels.get("l2"),
+            llc_factory=levels.get("llc"),
+            params=spec.params,
+            warmup=spec.warmup,
+            roi=spec.roi,
+            seed=spec.seed,
+        )
     trace = spec.build_trace()
     if spec.kind in (KIND_LEVELS, KIND_TRACE):
         from repro.prefetchers import make_prefetcher

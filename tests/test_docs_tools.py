@@ -1,0 +1,68 @@
+"""The documentation gates, run as part of the tier-1 suite.
+
+check_docs audits every markdown page for broken relative links,
+references to nonexistent modules/paths, and CLI invocations that the
+live argument parser would reject (this is what keeps the README's
+`repro paper ...` walkthrough honest).  check_docstrings enforces the
+docstring-coverage baseline.  CI runs both scripts directly; running
+them here too means a broken doc reference fails fast locally.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+TOOLS = REPO / "tools"
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(TOOLS / script)],
+        capture_output=True, text=True, cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_docs_audit_passes():
+    proc = _run("check_docs.py")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_docstring_gate_passes():
+    proc = _run("check_docstrings.py")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_readme_paper_commands_parse():
+    """Every `repro paper ...` invocation in README must parse."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    text = (REPO / "README.md").read_text()
+    commands = [
+        line.strip().removeprefix("python -m repro ")
+        for line in text.splitlines()
+        if line.strip().startswith("python -m repro paper")
+    ]
+    assert commands, "README lost its `repro paper` walkthrough"
+    for command in commands:
+        argv = command.split("#")[0].split()
+        args = parser.parse_args(argv)
+        assert args.command == "paper"
+
+
+def test_experiments_doc_references_claim_ids():
+    """The committed doc's claim ids must all exist in the registry."""
+    import re
+
+    from repro.paperclaims import CLAIMS
+
+    known = {claim.id for claim in CLAIMS}
+    text = (REPO / "EXPERIMENTS.md").read_text()
+    referenced = set(re.findall(r"\(`([a-z0-9-]+)`\)", text))
+    referenced &= {r for r in referenced if "-" in r}
+    missing = referenced - known
+    assert not missing, f"EXPERIMENTS.md references unknown claims {missing}"

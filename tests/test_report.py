@@ -1,0 +1,82 @@
+"""Table rendering (repro.stats.report): alignment, degraded cells,
+non-finite floats — the formatting EXPERIMENTS.md and every benchmark
+print path rely on."""
+
+from repro.resilience import JobFailure
+from repro.stats import format_table
+from repro.stats.report import _render_cell
+
+
+def _columns(line: str, widths: list[int]) -> list[str]:
+    cols, start = [], 0
+    for width in widths:
+        cols.append(line[start:start + width])
+        start += width + 2
+    return cols
+
+
+def test_float_cells_render_three_decimals():
+    assert _render_cell(1.23456) == "1.235"
+    assert _render_cell(1.0) == "1.000"
+    assert _render_cell(7) == "7"
+    assert _render_cell("abc") == "abc"
+
+
+def test_failure_cells_render_reason():
+    failure = JobFailure(key="k", error_type="TimeoutError", message="slow",
+                         attempts=3)
+    assert _render_cell(failure) == "FAILED(TimeoutError)"
+
+
+def test_nan_and_inf_render_without_crashing():
+    assert _render_cell(float("nan")) == "nan"
+    assert _render_cell(float("inf")) == "inf"
+    assert _render_cell(float("-inf")) == "-inf"
+    text = format_table(["a"], [[float("nan")], [float("inf")]])
+    assert "nan" in text and "inf" in text
+
+
+def test_column_alignment():
+    text = format_table(
+        ["trace", "speedup"],
+        [["lbm_like", 1.5], ["xz", 1.0], ["a_much_longer_name", 12.25]],
+    )
+    lines = text.split("\n")
+    header, sep, *rows = lines
+    # every line padded to the same grid
+    widths = [len("a_much_longer_name"), len("speedup")]
+    assert header.startswith("trace".ljust(widths[0]))
+    assert sep == "-" * len(header)
+    for line in rows:
+        cells = _columns(line, widths)
+        assert len(cells) == 2
+    # numeric column right-padded strings of equal rendered width
+    assert _columns(rows[0], widths)[1].strip() == "1.500"
+    assert _columns(rows[2], widths)[1].strip() == "12.250"
+
+
+def test_header_wider_than_cells_sets_width():
+    text = format_table(["a_wide_header", "x"], [["v", 1.0]])
+    header, sep, row = text.split("\n")
+    assert len(row) <= len(header)
+    assert row.startswith("v".ljust(len("a_wide_header")))
+
+
+def test_title_and_empty_rows():
+    text = format_table(["a", "b"], [], title="Nothing yet")
+    lines = text.split("\n")
+    assert lines[0] == "Nothing yet"
+    assert lines[1].split() == ["a", "b"]
+    assert set(lines[2]) == {"-"}
+    assert len(lines) == 3
+
+
+def test_failed_cell_widens_its_column():
+    failure = JobFailure(key="k", error_type="BrokenWorker", message="x",
+                         attempts=1)
+    text = format_table(["trace", "ipcp"], [["t1", failure], ["t2", 1.0]])
+    _, _, row1, row2 = text.split("\n")
+    assert "FAILED(BrokenWorker)" in row1
+    # the short numeric cell is padded out to the failure cell's width
+    assert len(row2) >= row2.index("1.000") + len("1.000")
+    assert row1.index("FAILED") == row2.index("1.000")

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for ``src/repro/``.
+
+Public functions, classes and methods need docstrings.  Pre-existing
+gaps are recorded in ``tools/docstring_baseline.txt`` and tolerated;
+anything *new* fails CI, so coverage only ratchets up.  Fixing a
+baselined gap is rewarded: a stale baseline entry is reported (and
+``--update-baseline`` rewrites the file).
+
+A method is exempt when it overrides a same-named, documented method
+of a base class defined in the same module (``Predicate.check`` and
+friends) — the contract lives on the base.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC = ROOT / "src" / "repro"
+BASELINE = ROOT / "tools" / "docstring_baseline.txt"
+
+
+def _documented_names(node: ast.ClassDef) -> set[str]:
+    return {
+        child.name
+        for child in ast.iter_child_nodes(node)
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and ast.get_docstring(child)
+    }
+
+
+def _inherited_documented(class_node: ast.ClassDef,
+                          classes: dict[str, ast.ClassDef],
+                          seen: set[str] | None = None) -> set[str]:
+    """Names documented anywhere up the (same-module) base chain."""
+    seen = seen or set()
+    names: set[str] = set()
+    for base in class_node.bases:
+        base_name = base.id if isinstance(base, ast.Name) else None
+        if base_name and base_name in classes and base_name not in seen:
+            seen.add(base_name)
+            base_node = classes[base_name]
+            names |= _documented_names(base_node)
+            names |= _inherited_documented(base_node, classes, seen)
+    return names
+
+
+def module_gaps(path: pathlib.Path) -> list[str]:
+    """``module:qualname`` for every public def/class missing a docstring."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    rel = path.relative_to(ROOT).as_posix()
+    classes = {
+        node.name: node
+        for node in ast.iter_child_nodes(tree)
+        if isinstance(node, ast.ClassDef)
+    }
+    gaps: list[str] = []
+
+    def visit(node: ast.AST, prefix: str, exempt: set[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                continue
+            if child.name.startswith("_"):
+                continue
+            qual = f"{prefix}{child.name}"
+            if not ast.get_docstring(child) and child.name not in exempt:
+                gaps.append(f"{rel}:{qual}")
+            if isinstance(child, ast.ClassDef):
+                visit(child, f"{qual}.",
+                      _inherited_documented(child, classes))
+
+    visit(tree, "", set())
+    return gaps
+
+
+def collect_gaps() -> list[str]:
+    """Every docstring gap under ``src/repro/``, sorted."""
+    gaps: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        gaps.extend(module_gaps(path))
+    return sorted(gaps)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: compare live gaps against the baseline."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite tools/docstring_baseline.txt from "
+                             "the current tree")
+    args = parser.parse_args(argv)
+
+    gaps = collect_gaps()
+    if args.update_baseline:
+        BASELINE.write_text("\n".join(gaps) + ("\n" if gaps else ""),
+                            encoding="utf-8")
+        print(f"baseline updated: {len(gaps)} tolerated gaps")
+        return 0
+
+    baseline = set()
+    if BASELINE.exists():
+        baseline = {
+            line.strip()
+            for line in BASELINE.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        }
+    new = [gap for gap in gaps if gap not in baseline]
+    fixed = sorted(baseline - set(gaps))
+
+    if fixed:
+        print(f"{len(fixed)} baselined gap(s) fixed — run "
+              f"`python tools/check_docstrings.py --update-baseline` "
+              f"to lock them in:")
+        for gap in fixed[:10]:
+            print(f"  fixed: {gap}")
+    if new:
+        print(f"{len(new)} public def(s)/class(es) missing docstrings "
+              f"(not in baseline):")
+        for gap in new:
+            print(f"  {gap}")
+        return 1
+    print(f"docstring coverage OK: {len(gaps)} gaps, all baselined "
+          f"({len(baseline)} tolerated)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
