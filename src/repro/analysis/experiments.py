@@ -61,7 +61,10 @@ class ExperimentRunner:
     ``jobs`` and ``cache_dir`` configure a private
     :class:`SimulationRunner`; alternatively a shared ``runner`` may be
     injected (the benchmark session does this so every figure script
-    draws from one pool and one cache).
+    draws from one pool and one cache).  ``engine`` selects the
+    simulation engine for every cell this runner produces (see
+    :mod:`repro.sim.batched`); results are engine-independent, but
+    cache keys are engine-salted.
     """
 
     def __init__(
@@ -71,9 +74,11 @@ class ExperimentRunner:
         jobs: int = 1,
         cache_dir: str | None = None,
         runner: SimulationRunner | None = None,
+        engine: str = "scalar",
     ) -> None:
         self.traces = {trace.name: trace for trace in traces}
         self.params = params
+        self.engine = engine
         if runner is None:
             cache = ResultCache(cache_dir) if cache_dir else None
             runner = SimulationRunner(jobs=jobs, cache=cache)
@@ -87,7 +92,8 @@ class ExperimentRunner:
 
     def _spec(self, trace_name: str, config_name: str):
         return levels_job(
-            self.traces[trace_name], config_name, self.params
+            self.traces[trace_name], config_name, self.params,
+            engine=self.engine,
         )
 
     def ensure(self, cells: Iterable[tuple[str, str]]) -> None:

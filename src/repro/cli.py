@@ -44,6 +44,7 @@ from repro.resilience import (
     flush_active_journals,
 )
 from repro.runner import ResultCache, SimulationRunner
+from repro.sim.batched import ENGINES
 from repro.sim.multicore import simulate_mix
 from repro.sim.trace import load_trace, save_trace
 from repro.stats import format_table, normalized_weighted_speedup
@@ -133,7 +134,8 @@ def parse_size(text: str) -> int:
 def cmd_run(args) -> int:
     """Run one workload with and without a prefetcher."""
     trace = build_trace(args.workload, args.scale)
-    runner = ExperimentRunner([trace], runner=make_backend(args))
+    runner = ExperimentRunner([trace], runner=make_backend(args),
+                              engine=args.engine)
     runner.ensure([(trace.name, "none"), (trace.name, args.prefetcher)])
     baseline = runner.result(trace.name, "none")
     result = runner.result(trace.name, args.prefetcher)
@@ -158,7 +160,8 @@ def cmd_compare(args) -> int:
     traces = [build_trace(name, args.scale)
               for name in args.workloads.split(",")]
     configs = args.prefetchers.split(",")
-    runner = ExperimentRunner(traces, runner=make_backend(args))
+    runner = ExperimentRunner(traces, runner=make_backend(args),
+                              engine=args.engine)
     rows = runner.speedup_table(configs)
     print(format_table(["trace"] + configs, rows,
                        title="Speedup over no prefetching"))
@@ -369,6 +372,28 @@ def cmd_verify(args) -> int:
                 print("drift detected; if intentional, re-baseline with "
                       "`python -m repro verify --update-baseline`")
 
+    if not args.skip_cross_engine:
+        print("== cross-engine equivalence (scalar vs batched) ==")
+        from repro.verify.cross_engine import run_cross_engine
+
+        workloads = tuple(
+            args.workloads.split(",") if args.workloads else GOLDEN_WORKLOADS
+        )
+        prefetchers = (
+            args.prefetchers.split(",") if args.prefetchers else None
+        )
+        scale = args.scale if args.scale is not None else GOLDEN_SCALE
+        report = run_cross_engine(
+            workloads=workloads, prefetchers=prefetchers, scale=scale,
+        )
+        print(report.describe())
+        if not report.ok:
+            failed = True
+        elif not report.fused_cells:
+            failed = True
+            print("FAIL — no cell exercised the fused batched path; "
+                  "the fast engine has silently rotted into fallback")
+
     return 1 if failed else 0
 
 
@@ -459,7 +484,7 @@ def cmd_trace(args) -> int:
     if not args.workload:
         raise ReproError("trace needs --workload (or --replay FILE)")
     trace = build_trace(args.workload, args.scale)
-    spec = trace_job(trace, args.prefetcher)
+    spec = trace_job(trace, args.prefetcher, engine=args.engine)
     traced = make_backend(args).run([spec])[0]
     events = list(traced.events)
     _print_stream_summary(summarize(events),
@@ -634,7 +659,7 @@ def cmd_paper(args) -> int:
                   + ("is OUT OF DATE vs live results — run "
                      "`repro paper --write`" if drift
                      else "matches live results byte for byte"))
-        bench_path = root / "BENCH_5.json"
+        bench_path = root / "BENCH_6.json"
         paperclaims.write_bench(report, wall, str(bench_path))
         print(f"wrote {bench_path}")
 
@@ -686,6 +711,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workload", required=True)
     run.add_argument("--prefetcher", default="ipcp")
     run.add_argument("--scale", type=float, default=0.5)
+    run.add_argument("--engine", choices=ENGINES, default="scalar",
+                     help="simulation engine (docs/engine.md)")
     add_runner_options(run)
     run.set_defaults(func=cmd_run)
 
@@ -694,6 +721,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated workload names")
     compare.add_argument("--prefetchers", default="ipcp,mlop,bingo")
     compare.add_argument("--scale", type=float, default=0.4)
+    compare.add_argument("--engine", choices=ENGINES, default="scalar",
+                         help="simulation engine (docs/engine.md)")
     add_runner_options(compare)
     compare.set_defaults(func=cmd_compare)
 
@@ -774,6 +803,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the oracle lockstep diff")
     verify.add_argument("--skip-invariants", action="store_true",
                         help="skip the runtime-invariant sweep")
+    verify.add_argument("--skip-cross-engine", action="store_true",
+                        help="skip the scalar-vs-batched equivalence gate")
     verify.add_argument("--skip-golden", action="store_true",
                         help="skip the golden-stats regression")
     add_runner_options(verify)
@@ -787,6 +818,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--workload", default=None)
     trace_cmd.add_argument("--prefetcher", default="ipcp")
     trace_cmd.add_argument("--scale", type=float, default=0.2)
+    trace_cmd.add_argument("--engine", choices=ENGINES, default="scalar",
+                           help="simulation engine (a telemetry run "
+                                "always falls back to scalar)")
     trace_cmd.add_argument("--out", default=None, metavar="PATH",
                            help="write the event stream (.jsonl canonical, "
                                 ".csv flat)")
@@ -837,7 +871,7 @@ def build_parser() -> argparse.ArgumentParser:
     paper = sub.add_parser(
         "paper",
         help="evaluate the paper-claim registry; regenerate "
-             "EXPERIMENTS.md and BENCH_5.json",
+             "EXPERIMENTS.md and BENCH_6.json",
     )
     paper.add_argument("--check", action="store_true",
                        help="exit nonzero if any claim flips or "

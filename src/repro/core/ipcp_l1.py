@@ -167,6 +167,28 @@ class IpcpL1(Prefetcher):
                 ))
         return hook
 
+    def batch_state(self) -> dict | None:
+        """Live state handles for the batched engine (base-class hook).
+
+        Exposes the IP table, CSPT, RST, RR filter and per-class
+        throttles as direct references so
+        :mod:`repro.sim.batched` can step them in place, leaving the
+        bouquet in exactly the state a scalar run would.  Returns None
+        — forcing the scalar fallback — when the temporal extension is
+        enabled or a live recorder is attached, the two features the
+        fused kernel does not replicate.
+        """
+        if self.temporal is not None or self.recorder.enabled:
+            return None
+        return {
+            "config": self.config,
+            "ip_table": self.ip_table,
+            "cspt": self.cspt,
+            "rst": self.rst,
+            "rr_filter": self.rr_filter,
+            "throttles": self.throttles,
+        }
+
     # ------------------------------------------------------------------ #
     # Training
     # ------------------------------------------------------------------ #

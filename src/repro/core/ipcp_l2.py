@@ -86,6 +86,27 @@ class IpcpL2(Prefetcher):
         tag = (ip >> self.entries.bit_length() - 1) & self._tag_mask
         return index, tag
 
+    def batch_state(self) -> dict | None:
+        """Live state handles for the batched engine (base-class hook).
+
+        Exposes the bookkeeping IP table (plus its index/tag geometry
+        and replay knobs) as direct references so
+        :mod:`repro.sim.batched` can decode metadata and replay classes
+        in place.  Returns None — forcing the scalar fallback — while a
+        live recorder is attached.
+        """
+        if self.recorder.enabled:
+            return None
+        return {
+            "table": self._table,
+            "index_mask": self._index_mask,
+            "tag_shift": self.entries.bit_length() - 1,
+            "tag_mask": self._tag_mask,
+            "cs_degree": self.cs_degree,
+            "gs_degree": self.gs_degree,
+            "nl_mpki_threshold": self.nl_mpki_threshold,
+        }
+
     def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
         """Replay the L1's classification from the metadata packet.
 

@@ -1,8 +1,9 @@
-"""BENCH_5.json: telemetry from one full claim run.
+"""BENCH_6.json: telemetry from one full claim run.
 
 The driver compares BENCH files across PRs, so the schema is additive
 and the numbers are machine-local measurements, not asserted values:
-simulator throughput, cached-replay rate, per-cell wall time and the
+simulator throughput (scalar and batched engines, suite and
+compute-dense mixes), cached-replay rate, per-cell wall time and the
 claim pass counts.  No timestamps — the file should only change when
 the run actually changes.
 """
@@ -14,12 +15,12 @@ import json
 from repro.paperclaims.cells import EngineReport
 
 SCHEMA = "repro-bench/v1"
-PR = 5
+PR = 6
 
 
 def bench_payload(report: EngineReport,
                   wall_seconds: float) -> dict:
-    """The BENCH_5.json contents for one full claim run."""
+    """The BENCH_6.json contents for one full claim run."""
     sections = {
         section: {"holds": good, "flipped": bad}
         for section, (good, bad) in report.by_section().items()
@@ -41,6 +42,14 @@ def bench_payload(report: EngineReport,
         "throughput_records_per_s": {
             "baseline": round(report.values.get("thr.baseline", 0.0), 1),
             "ipcp": round(report.values.get("thr.ipcp", 0.0), 1),
+            "batched_baseline": round(
+                report.values.get("thr.batched_baseline", 0.0), 1),
+            "batched_ipcp": round(
+                report.values.get("thr.batched_ipcp", 0.0), 1),
+            "dense_baseline": round(
+                report.values.get("thr.dense_baseline", 0.0), 1),
+            "dense_batched_baseline": round(
+                report.values.get("thr.dense_batched_baseline", 0.0), 1),
         },
         "wall_seconds": {
             "total": round(wall_seconds, 2),

@@ -640,21 +640,35 @@ def _cell_abl_mixdist(ctx: CellContext) -> dict[str, float]:
 
 
 def _cell_throughput(ctx: CellContext) -> dict[str, float]:
+    from repro.core import IpcpL1, IpcpL2
+    from repro.sim.batched import simulate_batched
     from repro.sim.engine import simulate
-    from repro.workloads import spec_trace
+    from repro.workloads import compute_dense_trace, spec_trace
 
     trace = spec_trace("lbm_like", 0.5)
+    dense = compute_dense_trace()
 
-    def rate(**kwargs) -> float:
-        start = time.perf_counter()
-        simulate(trace, **kwargs)
-        return len(trace) / (time.perf_counter() - start)
-
-    from repro.core import IpcpL1, IpcpL2
+    def rate(work, engine=simulate, reps=2, ipcp=False) -> float:
+        # Best-of-reps: minima track the engine's cost on a shared
+        # machine; a fresh prefetcher pair per rep keeps runs cold.
+        best = None
+        for _ in range(reps):
+            levels = ({"l1_prefetcher": IpcpL1(), "l2_prefetcher": IpcpL2()}
+                      if ipcp else {})
+            start = time.perf_counter()
+            engine(work, **levels)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        return len(work) / best
 
     return {
-        "thr.baseline": rate(),
-        "thr.ipcp": rate(l1_prefetcher=IpcpL1(), l2_prefetcher=IpcpL2()),
+        "thr.baseline": rate(trace),
+        "thr.ipcp": rate(trace, ipcp=True),
+        "thr.batched_baseline": rate(trace, engine=simulate_batched),
+        "thr.batched_ipcp": rate(trace, engine=simulate_batched, ipcp=True),
+        "thr.dense_baseline": rate(dense),
+        "thr.dense_batched_baseline": rate(dense, engine=simulate_batched),
     }
 
 
@@ -1272,13 +1286,21 @@ CLAIMS = [
         title="Simulator throughput guard",
         paper="repository guard, not a paper artifact: pure-Python "
               "simulation must stay on the order of 10^5 records/s "
-              "(floors ~10x below current, catching quadratic bugs)",
+              "(floors ~10x below current, catching quadratic bugs), "
+              "and the batched columnar engine must keep beating the "
+              "scalar oracle — modestly on suite mixes (Amdahl: ~15% "
+              "memory events), by a wide margin on the compute-dense "
+              "mix (the hard >=10x gate lives in the benchmark)",
         bench="test_simulator_throughput.py",
         cells=("throughput",),
         predicates=(
             Band("thr.baseline", lo=10_000),
             Band("thr.ipcp", lo=5_000),
             RatioBand("thr.ipcp", "thr.baseline", lo=0.2),
+            RatioBand("thr.batched_baseline", "thr.baseline", lo=1.0),
+            RatioBand("thr.batched_ipcp", "thr.ipcp", lo=1.0),
+            RatioBand("thr.dense_batched_baseline", "thr.dense_baseline",
+                      lo=5.0),
         ),
     ),
 ]

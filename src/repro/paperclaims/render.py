@@ -84,7 +84,7 @@ _REPRODUCING = """\
 ```bash
 repro paper --check            # evaluate every claim; nonzero on any flip
 repro paper --check --jobs 4   # same, fanned out over 4 workers
-repro paper --write            # regenerate this file + BENCH_5.json
+repro paper --write            # regenerate this file + BENCH_6.json
 repro paper --list             # claim ids for --only
 repro paper --only fig8-multilevel fig7-l1-comparison
 pytest benchmarks/ --benchmark-only   # human-readable reports in benchmarks/out/
@@ -406,8 +406,9 @@ def _m_abl_mixdist(v):
 
 
 def _m_throughput(v):
-    return ("machine-dependent — order-of-magnitude floors only; live "
-            "numbers land in `BENCH_5.json`")
+    return ("machine-dependent — order-of-magnitude floors plus "
+            "batched-vs-scalar ratio gates; live numbers land in "
+            "`BENCH_6.json`")
 
 
 MEASURED = {

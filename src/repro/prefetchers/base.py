@@ -104,6 +104,19 @@ class Prefetcher:
         reports.
         """
 
+    def batch_state(self) -> dict | None:
+        """Expose internal state handles for the batched engine.
+
+        A prefetcher that supports batch stepping returns a dict of
+        *live references* to its mutable tables/filters/throttles; the
+        batched engine (:mod:`repro.sim.batched`) mutates them in place
+        so the end-of-run state is identical to a scalar run.  The base
+        implementation returns None, which means "no batch support" —
+        the engine then falls back to the scalar path for the whole
+        simulation (it never mixes engines within one run).
+        """
+        return None
+
     def summary(self) -> "PrefetcherSummary":
         """Lightweight snapshot of this prefetcher for result records.
 

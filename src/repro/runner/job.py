@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.config_io import system_to_dict
 from repro.errors import ReproError
 from repro.params import SystemParams
+from repro.sim.batched import validate_engine
 from repro.sim.trace import _RECORD, Trace
 
 # Kinds of work a job can describe.
@@ -111,9 +112,16 @@ class JobSpec:
     max_instructions: int | None = None
     roi: int | None = None
     seed: int = 1
+    engine: str = "scalar"
 
     def cache_key(self) -> str:
-        """Content-addressed key for this cell's result."""
+        """Content-addressed key for this cell's result.
+
+        The engine selector salts the key even though both engines must
+        produce identical results: a cached cell then always records
+        which code path produced it, and an engine-equivalence bug can
+        never be masked by one engine replaying the other's cache entry.
+        """
         payload = json.dumps(
             {
                 "kind": self.kind,
@@ -124,6 +132,7 @@ class JobSpec:
                 "max_instructions": self.max_instructions,
                 "roi": self.roi,
                 "seed": self.seed,
+                "engine": self.engine,
                 "salt": code_salt(),
             },
             sort_keys=True,
@@ -141,6 +150,7 @@ def levels_job(
     params: SystemParams | None = None,
     warmup: int | None = None,
     max_instructions: int | None = None,
+    engine: str = "scalar",
 ) -> JobSpec:
     """Spec for one single-core (trace x registered configuration) cell."""
     return JobSpec(
@@ -152,6 +162,7 @@ def levels_job(
         params=params,
         warmup=warmup,
         max_instructions=max_instructions,
+        engine=validate_engine(engine),
     )
 
 
@@ -161,6 +172,7 @@ def trace_job(
     params: SystemParams | None = None,
     warmup: int | None = None,
     max_instructions: int | None = None,
+    engine: str = "scalar",
 ) -> JobSpec:
     """Spec for a levels cell executed with telemetry recording on.
 
@@ -168,7 +180,8 @@ def trace_job(
     traced run and its plain twin occupy different cache slots: the
     traced result is a :class:`repro.telemetry.TraceRunResult` (events
     included) and must never be replayed where a bare ``SimResult`` is
-    expected, or vice versa.
+    expected, or vice versa.  ``engine`` is honoured for parity, though
+    a live recorder always forces the batched engine's scalar fallback.
     """
     return JobSpec(
         kind=KIND_TRACE,
@@ -179,6 +192,7 @@ def trace_job(
         params=params,
         warmup=warmup,
         max_instructions=max_instructions,
+        engine=validate_engine(engine),
     )
 
 
@@ -189,6 +203,7 @@ def mix_job(
     warmup: int = 5_000,
     roi: int = 20_000,
     seed: int = 1,
+    engine: str = "scalar",
 ) -> JobSpec:
     """Spec for one N-core mix under one registered configuration.
 
@@ -213,6 +228,7 @@ def mix_job(
         warmup=warmup,
         roi=roi,
         seed=seed,
+        engine=validate_engine(engine),
     )
 
 
@@ -278,6 +294,7 @@ def execute_job(spec: JobSpec):
             warmup=spec.warmup,
             roi=spec.roi,
             seed=spec.seed,
+            engine=spec.engine,
         )
     trace = spec.build_trace()
     if spec.kind in (KIND_LEVELS, KIND_TRACE):
@@ -306,6 +323,7 @@ def execute_job(spec: JobSpec):
             warmup=spec.warmup,
             max_instructions=spec.max_instructions,
             recorder=recorder,
+            engine=spec.engine,
         )
         if recorder is None:
             return result

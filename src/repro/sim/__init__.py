@@ -1,5 +1,13 @@
 """Trace-driven simulation engine: core model, single- and multi-core runs."""
 
+from repro.sim.batched import (
+    DEFAULT_CHUNK_RECORDS,
+    ENGINES,
+    get_last_run_info,
+    simulate_batched,
+    support_reason,
+    validate_engine,
+)
 from repro.sim.cpu import Cpu, CpuResult
 from repro.sim.engine import SimResult, simulate, simulate_ideal
 from repro.sim.multicore import MixResult, simulate_mix
@@ -18,6 +26,8 @@ __all__ = [
     "BRANCH",
     "Cpu",
     "CpuResult",
+    "DEFAULT_CHUNK_RECORDS",
+    "ENGINES",
     "LOAD",
     "MixResult",
     "OTHER",
@@ -25,9 +35,13 @@ __all__ = [
     "SimResult",
     "Trace",
     "TraceRecord",
+    "get_last_run_info",
     "load_trace",
     "save_trace",
     "simulate",
+    "simulate_batched",
     "simulate_ideal",
     "simulate_mix",
+    "support_reason",
+    "validate_engine",
 ]

@@ -15,6 +15,12 @@ instructions per cycle).  Mechanics:
 
 Stores complete immediately (store buffer) but still consume cache
 bandwidth, MSHRs and DRAM traffic through the hierarchy.
+
+This per-record loop is the *reference* core model: the batched
+columnar engine (:mod:`repro.sim.batched`) re-implements the same
+retire/dispatch/ROB semantics with closed-form run-length arithmetic
+and must stay bit-identical to it — change timing behaviour here and
+the batched engine's gap kernels must change in lockstep.
 """
 
 from __future__ import annotations

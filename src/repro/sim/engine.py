@@ -118,6 +118,7 @@ def simulate(
     max_instructions: int | None = None,
     hierarchy: Hierarchy | None = None,
     recorder=None,
+    engine: str = "scalar",
 ) -> SimResult:
     """Run one trace through one prefetcher configuration.
 
@@ -130,7 +131,27 @@ def simulate(
     warm-up, alongside the statistics, so the recorded event stream
     covers exactly the measured ROI and reconciles against the
     returned counters.
+
+    ``engine`` selects the execution strategy: ``"scalar"`` (this
+    per-record loop, the reference semantics) or ``"batched"``, which
+    dispatches to :func:`repro.sim.batched.simulate_batched` — a fused
+    columnar engine that returns a bit-identical :class:`SimResult`
+    and falls back to the scalar path for configurations it cannot
+    model (see :doc:`docs/engine`).
     """
+    # Deferred import: repro.sim.batched imports this module for the
+    # SimResult type and the scalar fallback, so binding lazily avoids
+    # a circular import.  The fallback calls simulate() with the
+    # default engine, so dispatch cannot recurse.
+    from repro.sim.batched import simulate_batched, validate_engine
+
+    if validate_engine(engine) == "batched":
+        return simulate_batched(
+            trace, l1_prefetcher, l2_prefetcher, llc_prefetcher,
+            params=params, warmup=warmup,
+            max_instructions=max_instructions,
+            hierarchy=hierarchy, recorder=recorder,
+        )
     params = params or SystemParams()
     if hierarchy is None:
         hierarchy = build_hierarchy(

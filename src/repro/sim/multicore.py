@@ -201,6 +201,7 @@ def simulate_mix(
     alone_ipc: dict[str, float] | None = None,
     seed: int = 1,
     runner=None,
+    engine: str = "scalar",
 ) -> MixResult:
     """Simulate an N-core mix and return per-core IPCs + weighted speedup.
 
@@ -210,7 +211,16 @@ def simulate_mix(
     and added to the dict.  ``runner`` (a
     :class:`repro.runner.SimulationRunner`) parallelizes and caches
     those per-core alone runs.
+
+    ``engine`` is accepted (and validated) for signature parity with
+    :func:`repro.sim.engine.simulate`, but mixes always execute on the
+    scalar path: the cores interleave through one shared hierarchy,
+    which is exactly the caller-supplied-hierarchy configuration the
+    batched engine refuses to fuse (see :func:`support_reason`).
     """
+    from repro.sim.batched import validate_engine
+
+    validate_engine(engine)
     base = params or SystemParams()
     cores = len(traces)
     mc_params = _multicore_params(base, cores)

@@ -24,6 +24,8 @@ from __future__ import annotations
 import struct
 from collections.abc import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import TraceError
 
 OTHER = 0
@@ -65,8 +67,100 @@ def validate_record(record: TraceRecord) -> None:
         raise TraceError(f"dep flag must be 0 or 1, got {dep}")
 
 
+class TraceColumns:
+    """Columnar (structure-of-arrays) decode of a :class:`Trace`.
+
+    One NumPy array per record field — ``kind``/``dep`` as ``uint8``,
+    ``ip``/``addr`` as ``uint64`` — plus the precomputed address-geometry
+    columns the batched engine consumes (``line``, ``page``, ``offset``,
+    ``is_load``) and ``events``, the indices of all non-OTHER records
+    (the only records that can touch the memory system or the branch
+    predictor).  Per-cache ``set``/``tag`` columns depend on the cache
+    geometry, so they are derived on demand via :meth:`set_tag` and
+    memoized per ``set_bits``.
+
+    Instances are immutable snapshots: they are built once per
+    :class:`Trace` by :meth:`Trace.columns` and shared by every
+    simulation over that trace.
+    """
+
+    def __init__(self, records: list[TraceRecord]) -> None:
+        n = len(records)
+        if n:
+            kinds, ips, addrs, deps = zip(*records)
+        else:
+            kinds = ips = addrs = deps = ()
+        try:
+            self.kind = np.fromiter(kinds, dtype=np.uint8, count=n)
+            self.ip = np.fromiter(ips, dtype=np.uint64, count=n)
+            self.addr = np.fromiter(addrs, dtype=np.uint64, count=n)
+            self.dep = np.fromiter(deps, dtype=np.uint8, count=n)
+        except (OverflowError, ValueError) as error:
+            raise TraceError(
+                f"trace field does not fit the columnar uint64/uint8 "
+                f"layout: {error}"
+            ) from None
+        self.is_load = self.kind == LOAD
+        self.line = self.addr >> np.uint64(6)
+        self.page = self.addr >> np.uint64(12)
+        self.offset = self.line & np.uint64(63)
+        self.events = np.flatnonzero(self.kind != OTHER)
+        self._kind_bytes: bytes | None = None
+        self._dep_bytes: bytes | None = None
+        self._set_tag: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._event_columns: dict[str, np.ndarray] | None = None
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+    @property
+    def kind_bytes(self) -> bytes:
+        """The kind column as ``bytes`` (O(1) scalar indexing in loops)."""
+        if self._kind_bytes is None:
+            self._kind_bytes = self.kind.tobytes()
+        return self._kind_bytes
+
+    @property
+    def dep_bytes(self) -> bytes:
+        """The dep column as ``bytes`` (O(1) scalar indexing in loops)."""
+        if self._dep_bytes is None:
+            self._dep_bytes = self.dep.tobytes()
+        return self._dep_bytes
+
+    def set_tag(self, set_bits: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-cache ``(set, tag)`` columns for a ``2**set_bits``-set cache."""
+        cached = self._set_tag.get(set_bits)
+        if cached is None:
+            mask = np.uint64((1 << set_bits) - 1)
+            cached = (self.line & mask, self.line >> np.uint64(set_bits))
+            self._set_tag[set_bits] = cached
+        return cached
+
+    def event_columns(self) -> dict[str, np.ndarray]:
+        """Record fields gathered down to the non-OTHER ``events`` rows.
+
+        Returns ``{"index", "kind", "ip", "addr", "dep"}`` arrays, all
+        aligned with :attr:`events`; memoized after the first call.
+        """
+        if self._event_columns is None:
+            ev = self.events
+            self._event_columns = {
+                "index": ev,
+                "kind": self.kind[ev],
+                "ip": self.ip[ev],
+                "addr": self.addr[ev],
+                "dep": self.dep[ev],
+            }
+        return self._event_columns
+
+
 class Trace(Sequence[TraceRecord]):
-    """A named, indexable instruction trace."""
+    """A named, indexable instruction trace.
+
+    :meth:`columns` exposes a memoized columnar (NumPy) decode used by
+    the batched engine; slicing produces a fresh :class:`Trace`, so a
+    slice never aliases a stale columnar cache.
+    """
 
     def __init__(self, records: Iterable, name: str = "trace") -> None:
         # Records already in canonical form (4-tuples with an int dep
@@ -100,6 +194,20 @@ class Trace(Sequence[TraceRecord]):
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
+
+    def columns(self) -> TraceColumns:
+        """The columnar decode of this trace, built once and memoized.
+
+        The cache lives on the instance and slices always construct a
+        new :class:`Trace` (see ``__getitem__``), so a slice re-decodes
+        instead of aliasing its parent's arrays.  Raises
+        :class:`TraceError` when a field does not fit ``uint64``.
+        """
+        cached = self.__dict__.get("_columns")
+        if cached is None:
+            cached = TraceColumns(self._records)
+            self.__dict__["_columns"] = cached
+        return cached
 
     def replay(self) -> Iterator[TraceRecord]:
         """Iterate the trace forever, wrapping around at the end."""

@@ -16,10 +16,19 @@ of future refactors and performance work:
 * :mod:`repro.verify.golden` — a golden-stats regression harness that
   snapshots key metrics for every registered prefetcher over a fixed
   workload grid into a committed JSON baseline and fails on drift.
+* :mod:`repro.verify.cross_engine` — scalar-vs-batched engine
+  equivalence: both engines must produce bit-identical
+  :class:`~repro.sim.engine.SimResult` values over the golden grid
+  plus warm-up/budget edge cases (see docs/engine.md).
 
-``python -m repro verify`` runs all three; see docs/verification.md.
+``python -m repro verify`` runs all of them; see docs/verification.md.
 """
 
+from repro.verify.cross_engine import (
+    CrossEngineReport,
+    EngineCell,
+    run_cross_engine,
+)
 from repro.verify.golden import (
     GOLDEN_WORKLOADS,
     collect_golden_stats,
@@ -37,7 +46,9 @@ from repro.verify.lockstep import Divergence, LockstepDiffer, LockstepReport
 from repro.verify.oracles import OracleDecision, OracleIpcpL1
 
 __all__ = [
+    "CrossEngineReport",
     "Divergence",
+    "EngineCell",
     "GOLDEN_WORKLOADS",
     "InvariantChecker",
     "InvariantError",
@@ -50,5 +61,6 @@ __all__ = [
     "compare_to_baseline",
     "golden_prefetchers",
     "load_baseline",
+    "run_cross_engine",
     "save_baseline",
 ]

@@ -20,6 +20,7 @@ from repro.workloads.patterns import (
     strided_pattern,
 )
 from repro.workloads.spec import (
+    compute_dense_trace,
     full_suite,
     memory_intensive_suite,
     spec_trace,
@@ -31,6 +32,7 @@ __all__ = [
     "WorkloadBuilder",
     "cloudsuite_suite",
     "complex_stride_pattern",
+    "compute_dense_trace",
     "dense_region_burst",
     "full_suite",
     "heterogeneous_mixes",

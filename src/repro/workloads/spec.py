@@ -357,6 +357,32 @@ def spec_trace(name: str, scale: float = 1.0, seed: int = 7) -> Trace:
     return builder.build()
 
 
+def compute_dense_trace(
+    name: str = "lbm_like",
+    loads: int = 5_000,
+    alu_per_load: int = 126,
+    seed: int = 7,
+) -> Trace:
+    """A compute-dense variant of a SPEC-like trace (same access stream).
+
+    Replays ``name``'s generator with a much larger ALU run between
+    memory events — the instruction mix of an HPC kernel whose inner
+    loop is arithmetic-bound rather than memory-bound.  The batched
+    engine's throughput benchmark uses this to measure the gap-kernel
+    ceiling: the suite workloads are deliberately memory-event-dense
+    (14-20% events), which bounds any engine's overall speedup via
+    Amdahl's law, while this mix (<1% events) shows what the closed-form
+    gap arithmetic delivers when the interpreter dispatch actually
+    dominates (see docs/engine.md).
+    """
+    generator, _, _ = SPEC_BENCHMARKS[name]
+    salted = seed ^ zlib.crc32(name.encode())
+    builder = WorkloadBuilder(f"{name.split('_')[0]}_dense", seed=salted,
+                              alu_per_load=alu_per_load)
+    generator(builder, loads)
+    return builder.build()
+
+
 def memory_intensive_suite(scale: float = 1.0, seed: int = 7) -> list[Trace]:
     """The analogue of the paper's 46 memory-intensive traces."""
     return [
