@@ -13,9 +13,13 @@ atomic: the blob is written to a dot-prefixed temporary file in the
 entry's own directory, fsynced, then published with :func:`os.replace`
 — a writer SIGKILLed at any instant leaves either the old state or the
 complete new entry, never a torn one, and concurrent workers racing on
-the same key can only ever publish complete entries.  Orphaned
-temporaries from killed writers are invisible to :meth:`get` and
-:meth:`__len__` (both look only at ``<key>.pkl`` names).
+the same key can only ever publish complete entries (last writer wins).
+Eviction of a corrupt entry is guarded the same way: the reader only
+removes the exact file it read, never an entry a concurrent writer has
+just republished, so a same-key race can never trigger a spurious
+evict-then-recompute of a valid entry.  Orphaned temporaries from
+killed writers are invisible to :meth:`get` and :meth:`__len__` (both
+look only at ``<key>.pkl`` names).
 """
 
 from __future__ import annotations
@@ -66,8 +70,10 @@ class ResultCache:
     def get(self, key: str) -> tuple[bool, object]:
         """Return ``(True, payload)`` on a verified hit, else ``(False, None)``."""
         entry = self._entry_path(key)
+        read_stat = None
         try:
             with open(entry, "rb") as fh:
+                read_stat = os.fstat(fh.fileno())
                 blob = fh.read()
             if not blob.startswith(_MAGIC):
                 raise ValueError("bad magic")
@@ -84,13 +90,35 @@ class ResultCache:
             # Poisoned entry: evict it so the cell is recomputed.
             self.corrupt += 1
             self.misses += 1
-            try:
-                os.remove(entry)
-            except OSError:
-                pass
+            self._evict(entry, read_stat)
             return False, None
         self.hits += 1
         return True, payload
+
+    def _evict(self, entry: str, read_stat: os.stat_result | None) -> None:
+        """Remove a corrupt entry — unless a writer already replaced it.
+
+        Under concurrent writers (the service's worker pool racing on
+        one key) the corrupt blob this reader saw may have been
+        superseded by a complete entry published via :func:`os.replace`
+        between our read and this eviction.  Removing blindly would
+        throw away that valid last-writer-wins entry and force a
+        spurious recompute, so the entry is only removed while it is
+        still byte-for-byte the file we read (same inode, size and
+        mtime).  ``read_stat`` is ``None`` when the file could not even
+        be opened; then there is nothing trustworthy to compare and the
+        path is removed unconditionally, matching the old behaviour.
+        """
+        try:
+            if read_stat is not None:
+                current = os.stat(entry)
+                if ((current.st_ino, current.st_size, current.st_mtime_ns)
+                        != (read_stat.st_ino, read_stat.st_size,
+                            read_stat.st_mtime_ns)):
+                    return
+            os.remove(entry)
+        except OSError:
+            pass
 
     def put(self, key: str, payload: object) -> None:
         """Store a payload atomically under its key."""

@@ -1,0 +1,68 @@
+"""Simulation-as-a-service: a long-running job server over the runner.
+
+The package turns the batch :class:`~repro.runner.SimulationRunner`
+into a service with the semantics a shared deployment needs —
+content-addressed idempotent submission, single-flight dedup of
+identical in-flight jobs, a read-through shared result cache, bounded
+queues with retryable backpressure, per-tenant quotas, streaming
+result delivery, SLO metrics, and graceful drain/resume through an
+append-only journal.  See ``docs/service.md`` for the API contract.
+
+Layering (each importable and testable on its own):
+
+* :mod:`repro.service.wire` — JSON job specs and digest-bearing result
+  summaries;
+* :mod:`repro.service.queue` — sharded bounded queue + quota ledger;
+* :mod:`repro.service.journal` — append-only lifecycle journal
+  (drain/resume substrate);
+* :mod:`repro.service.metrics` — counters and p50/p95 latency;
+* :mod:`repro.service.core` — the thread-safe single-flight engine;
+* :mod:`repro.service.server` — asyncio HTTP front end;
+* :mod:`repro.service.client` — stdlib client that reconstructs the
+  error taxonomy from wire errors.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.core import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JobRecord,
+    JobService,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+)
+from repro.service.journal import ServiceJournal
+from repro.service.metrics import ServiceMetrics, nearest_rank
+from repro.service.queue import QuotaLedger, ShardedJobQueue
+from repro.service.server import ServiceServer, serve
+from repro.service.wire import (
+    result_digest,
+    result_to_wire,
+    spec_from_wire,
+    spec_to_wire,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JobRecord",
+    "JobService",
+    "QUEUED",
+    "QuotaLedger",
+    "RUNNING",
+    "ServiceClient",
+    "ServiceJournal",
+    "ServiceMetrics",
+    "ServiceServer",
+    "ShardedJobQueue",
+    "TERMINAL_STATES",
+    "nearest_rank",
+    "result_digest",
+    "result_to_wire",
+    "serve",
+    "spec_from_wire",
+    "spec_to_wire",
+]

@@ -1,0 +1,170 @@
+"""Stdlib HTTP client for the simulation service.
+
+:class:`ServiceClient` speaks the :mod:`repro.service.server` protocol
+with nothing but :mod:`http.client` — one connection per call, JSON in
+and out — and **reconstructs the service error taxonomy** from error
+responses: a 429 queue-full body becomes the same
+:class:`~repro.errors.QueueFullError` (with its ``retry_after`` hint)
+the in-process core would have raised, so callers and the CLI handle
+local and remote rejection identically, including exit codes.
+
+:meth:`ServiceClient.stream` reads the ``application/x-ndjson``
+streaming endpoint incrementally, yielding each job's terminal
+document the moment the server writes it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from urllib.parse import quote, urlencode
+
+from repro.errors import (
+    ConfigurationError,
+    QueueFullError,
+    QuotaExceededError,
+    ReproError,
+    ServiceError,
+)
+from repro.runner.job import JobSpec
+from repro.service.wire import spec_to_wire
+
+_RETRYABLE = {
+    QueueFullError.exit_code: QueueFullError,
+    QuotaExceededError.exit_code: QuotaExceededError,
+}
+
+
+def _raise_for(status: int, payload: dict) -> None:
+    """Rebuild the taxonomy error a non-2xx response describes."""
+    message = payload.get("error", f"service returned HTTP {status}")
+    exit_code = payload.get("exit_code")
+    retry_after = payload.get("retry_after", 1.0)
+    if exit_code in _RETRYABLE:
+        raise _RETRYABLE[exit_code](message, retry_after=retry_after)
+    if exit_code == ConfigurationError.exit_code:
+        raise ConfigurationError(message)
+    if status == 503 or exit_code == ServiceError.exit_code:
+        error = ServiceError(message)
+        error.retry_after = retry_after
+        raise error
+    raise ReproError(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Blocking JSON client for one ``repro serve`` endpoint."""
+
+    def __init__(self, host: str, port: int, *, tenant: str = "default",
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            payload = (json.dumps(body).encode("utf-8")
+                       if body is not None else None)
+            headers = ({"Content-Type": "application/json"}
+                       if payload is not None else {})
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException) as error:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {error}"
+            ) from error
+        finally:
+            connection.close()
+        try:
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError as error:
+            raise ServiceError(
+                f"service sent invalid JSON for {method} {path}: {error}"
+            ) from error
+        if response.status != 200:
+            _raise_for(response.status, document)
+        return document
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: JobSpec | dict) -> dict:
+        """Submit a job; returns its poll document (``key`` included)."""
+        wire = spec_to_wire(spec) if isinstance(spec, JobSpec) else spec
+        return self._request("POST", "/jobs",
+                             {"spec": wire, "tenant": self.tenant})
+
+    def poll(self, key: str) -> dict:
+        """The job's current poll document (404 raises ReproError)."""
+        return self._request("GET", f"/jobs/{quote(key)}")
+
+    def wait(self, key: str, timeout: float | None = None) -> dict:
+        """Block server-side until the job is terminal (or timeout)."""
+        path = f"/jobs/{quote(key)}/wait"
+        if timeout is not None:
+            path += "?" + urlencode({"timeout": timeout})
+        return self._request("GET", path)
+
+    def cancel(self, key: str) -> dict:
+        """Detach this tenant's attachment from a queued job."""
+        return self._request("POST", f"/jobs/{quote(key)}/cancel",
+                             {"tenant": self.tenant})
+
+    def metrics(self) -> dict:
+        """The service metrics snapshot."""
+        return self._request("GET", "/metrics")
+
+    def healthz(self) -> dict:
+        """Liveness document (``{"ok": true, "draining": ...}``)."""
+        return self._request("GET", "/healthz")
+
+    def drain(self) -> dict:
+        """Ask the service to drain (blocks until workers exited)."""
+        return self._request("POST", "/drain")
+
+    def stream(self, keys: list[str], timeout: float | None = None):
+        """Yield terminal documents for ``keys`` in completion order.
+
+        Documents arrive as the server settles each job (JSONL over a
+        held-open response); an unknown key yields a ``state:
+        "unknown"`` document immediately.
+        """
+        if not keys:
+            return
+        query = {"keys": ",".join(keys)}
+        if timeout is not None:
+            query["timeout"] = timeout
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", "/stream?" + urlencode(query))
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                document = json.loads(raw.decode("utf-8")) if raw else {}
+                _raise_for(response.status, document)
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, _, buffer = buffer.partition(b"\n")
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+        except (OSError, http.client.HTTPException) as error:
+            raise ServiceError(
+                f"stream from {self.host}:{self.port} broke: {error}"
+            ) from error
+        finally:
+            connection.close()

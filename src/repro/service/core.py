@@ -1,0 +1,544 @@
+"""The thread-safe job engine behind the simulation service.
+
+:class:`JobService` is the synchronous heart of ``repro serve``: the
+HTTP layer (:mod:`repro.service.server`) is a thin asyncio shell around
+it, and every semantic the service promises lives here, testable
+without a socket:
+
+* **content-addressed idempotency** — a job's identity is its
+  :meth:`~repro.runner.job.JobSpec.cache_key`, so resubmitting the same
+  cell is never new work;
+* **single-flight dedup** — a submission whose key is already queued or
+  running *attaches* to the in-flight job (one execution, N
+  deliveries);
+* **read-through result cache** — a submission whose key is already in
+  the shared :class:`~repro.runner.cache.ResultCache` resolves
+  immediately without touching the queue;
+* **backpressure and quotas** — a bounded sharded queue rejects
+  overload with a retryable :class:`~repro.errors.QueueFullError`, and
+  a per-tenant ledger rejects quota busts with
+  :class:`~repro.errors.QuotaExceededError`;
+* **graceful drain** — :meth:`drain` stops intake, lets running jobs
+  finish, and leaves queued jobs checkpointed in the
+  :class:`~repro.service.journal.ServiceJournal`; a new service started
+  on the same journal + cache re-enqueues them (zero lost jobs).
+
+Execution reuses the fault-tolerant
+:class:`~repro.runner.SimulationRunner` — one per worker thread, all
+sharing one cache directory — so retries, timeouts and the failure
+taxonomy behave exactly as they do for CLI sweeps, and the chaos
+harness can interpose fault injection through the same pluggable
+``execute`` hook.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError, ServiceError
+from repro.resilience.policy import RetryPolicy
+from repro.runner.cache import ResultCache
+from repro.runner.job import JobSpec
+from repro.runner.pool import SimulationRunner
+from repro.service.journal import ServiceJournal
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import QuotaLedger, ShardedJobQueue
+from repro.service.wire import result_to_wire, spec_from_wire, spec_to_wire
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+# Counters aggregated across the per-worker runners for /metrics.
+_RUNNER_COUNTERS = (
+    "simulations_run", "cache_hits", "retries", "timeouts",
+    "transient_errors", "worker_crashes", "pool_respawns", "failures",
+)
+
+
+@dataclass
+class JobRecord:
+    """Mutable in-memory state of one job (guarded by the core lock)."""
+
+    key: str
+    spec: JobSpec
+    state: str
+    tenants: Counter = field(default_factory=Counter)
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: dict | None = None
+    error: str | None = None
+    callbacks: list = field(default_factory=list)
+
+    @property
+    def attachments(self) -> int:
+        """Live submissions attached to this job (>= 1 while in flight)."""
+        return sum(self.tenants.values())
+
+
+class JobService:
+    """Thread-safe single-flight job engine (see module docstring).
+
+    ``workers`` is the number of executor threads (0 = inline mode:
+    nothing executes until :meth:`step` is called — property tests use
+    this to control interleavings deterministically).  ``jobs``,
+    ``retry`` and ``timeout`` configure each worker's underlying
+    :class:`SimulationRunner`; ``execute`` swaps its execution function
+    (chaos injection).  ``cache`` accepts a ready cache object (the
+    chaos harness passes a corrupting proxy); otherwise ``cache_dir``
+    names a shared on-disk cache.  ``journal`` is the service journal
+    path; passing the journal of a drained service resumes its pending
+    jobs.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        queue_bound: int = 64,
+        quota: int | None = None,
+        shards: int = 4,
+        cache_dir: str | None = None,
+        cache=None,
+        journal: str | None = None,
+        retry: RetryPolicy | None = None,
+        timeout: float | None = None,
+        jobs: int = 1,
+        execute=None,
+        retry_after: float = 0.25,
+    ) -> None:
+        if workers < 0:
+            raise ReproError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.jobs = jobs
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.timeout = timeout
+        self.execute = execute
+        self._cache_dir = cache_dir
+        self.cache = cache if cache is not None else (
+            ResultCache(cache_dir) if cache_dir else None)
+        self._shared_cache = cache is not None
+        self.metrics = ServiceMetrics()
+        self._queue = ShardedJobQueue(queue_bound, shards,
+                                      retry_after=retry_after)
+        self._quota = QuotaLedger(quota, retry_after=retry_after)
+        self._records: dict[str, JobRecord] = {}
+        self._cond = threading.Condition()
+        self._draining = False
+        self._stopped = False
+        self._threads: list[threading.Thread] = []
+        self._runners: list[SimulationRunner] = []
+        self._inline_runner: SimulationRunner | None = None
+        self._journal = ServiceJournal(journal) if journal else None
+        if self._journal is not None:
+            self._resume_from_journal()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "JobService":
+        """Spawn the worker threads (no-op in inline ``workers=0`` mode)."""
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+        return self
+
+    def drain(self) -> None:
+        """Stop intake, finish running jobs, checkpoint the rest.
+
+        After this returns every worker has exited: jobs that were
+        *running* have resolved (and are journaled ``done``/``failed``),
+        jobs still *queued* remain ``submitted`` in the journal and are
+        re-enqueued by the next service started on the same journal.
+        Poll/metrics stay available; submissions are rejected with
+        :class:`ServiceError` (HTTP 503).
+        """
+        with self._cond:
+            if self._draining:
+                return
+            self._draining = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        if self._journal is not None:
+            self._journal.flush()
+
+    def stop(self) -> None:
+        """Drain (if not already) and release the journal."""
+        self.drain()
+        self._stopped = True
+        if self._journal is not None:
+            self._journal.close()
+
+    @property
+    def draining(self) -> bool:
+        """Whether the service has stopped accepting submissions."""
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # client-facing operations (thread-safe)
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: JobSpec | dict, tenant: str = "default") -> dict:
+        """Submit one job; returns its poll document plus submit flags.
+
+        Raises :class:`ServiceError` while draining,
+        :class:`QueueFullError` at the queue bound and
+        :class:`QuotaExceededError` over the tenant quota — all after
+        the dedup/cache fast paths, which are never rejected (they cost
+        no execution).
+        """
+        if isinstance(spec, dict):
+            spec = spec_from_wire(spec)
+        key = spec.cache_key()
+        now = time.monotonic()
+        with self._cond:
+            self.metrics.submitted += 1
+            record = self._records.get(key)
+            if record is not None and record.state in (QUEUED, RUNNING):
+                # Single-flight: attach to the in-flight execution.
+                self._charge_quota(tenant)
+                record.tenants[tenant] += 1
+                self.metrics.deduped += 1
+                if self._journal is not None:
+                    self._journal.record_attached(key, tenant)
+                return self._poll_info(record, deduped=True)
+            if record is not None and record.state == DONE:
+                # Answered from the completed record: counted as a
+                # cache hit — it is one, just from the hot copy.
+                self.metrics.cache_lookups += 1
+                self.metrics.cache_hits += 1
+                return self._poll_info(record, cached=True)
+            if self.cache is not None:
+                self.metrics.cache_lookups += 1
+                hit, payload = self.cache.get(key)
+                if hit:
+                    self.metrics.cache_hits += 1
+                    record = self._terminal_record(
+                        key, spec, DONE, result=result_to_wire(payload),
+                        submitted_at=now,
+                    )
+                    return self._poll_info(record, cached=True)
+            if self._draining or self._stopped:
+                self.metrics.rejected_draining += 1
+                raise ServiceError(
+                    "service is draining; not accepting new jobs")
+            self._charge_quota(tenant)
+            try:
+                self._queue.push(key)
+            except ReproError:
+                self._quota.release(tenant)
+                self.metrics.rejected_queue_full += 1
+                raise
+            record = JobRecord(key=key, spec=spec, state=QUEUED,
+                               tenants=Counter({tenant: 1}),
+                               submitted_at=now)
+            self._records[key] = record
+            self.metrics.accepted += 1
+            if self._journal is not None:
+                self._journal.record_submitted(key, spec_to_wire(spec),
+                                               tenant)
+            self._cond.notify()
+            return self._poll_info(record)
+
+    def _charge_quota(self, tenant: str) -> None:
+        try:
+            self._quota.charge(tenant)
+        except ReproError:
+            self.metrics.rejected_quota += 1
+            raise
+
+    def poll(self, key: str) -> dict | None:
+        """The job's current poll document, or None for an unknown key."""
+        with self._cond:
+            record = self._records.get(key)
+            return None if record is None else self._poll_info(record)
+
+    def wait(self, key: str, timeout: float | None = None) -> dict | None:
+        """Block until the job reaches a terminal state (or timeout)."""
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        with self._cond:
+            while True:
+                record = self._records.get(key)
+                if record is None:
+                    return None
+                if record.state in TERMINAL_STATES:
+                    return self._poll_info(record)
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return self._poll_info(record)
+                    self._cond.wait(min(0.1, remaining))
+                else:
+                    self._cond.wait(0.1)
+
+    def cancel(self, key: str, tenant: str = "default") -> dict | None:
+        """Detach one of the tenant's submissions from a queued job.
+
+        The job is actually cancelled (removed from the queue) only
+        when its last attachment detaches — other submitters keep their
+        delivery.  Running and terminal jobs are not interrupted; the
+        current document is returned unchanged.
+        """
+        with self._cond:
+            record = self._records.get(key)
+            if record is None:
+                return None
+            if record.state != QUEUED or record.tenants[tenant] < 1:
+                return self._poll_info(record)
+            record.tenants[tenant] -= 1
+            self._quota.release(tenant)
+            if record.attachments > 0:
+                return self._poll_info(record)
+            self._queue.remove(key)
+            record.state = CANCELLED
+            record.finished_at = time.monotonic()
+            self.metrics.cancelled += 1
+            if self._journal is not None:
+                self._journal.record_cancelled(key)
+            callbacks, info = self._take_callbacks(record)
+            self._cond.notify_all()
+        self._run_callbacks(callbacks, info)
+        return info
+
+    def add_done_callback(self, key: str, fn) -> bool:
+        """Call ``fn(poll_document)`` when the job turns terminal.
+
+        Returns False for an unknown key.  If the job is already
+        terminal the callback fires immediately (from this thread);
+        otherwise it fires from the worker thread that settles the job.
+        The HTTP layer bridges these into asyncio futures.
+        """
+        with self._cond:
+            record = self._records.get(key)
+            if record is None:
+                return False
+            if record.state in TERMINAL_STATES:
+                info = self._poll_info(record)
+            else:
+                record.callbacks.append(fn)
+                return True
+        fn(info)
+        return True
+
+    def note_streamed(self) -> None:
+        """Count one result delivered over a streaming response."""
+        with self._cond:
+            self.metrics.streamed += 1
+
+    def metrics_snapshot(self) -> dict:
+        """The ``GET /metrics`` document."""
+        with self._cond:
+            running = sum(1 for record in self._records.values()
+                          if record.state == RUNNING)
+            runners = list(self._runners)
+            if self._inline_runner is not None:
+                runners.append(self._inline_runner)
+            runner_counters = {
+                name: sum(getattr(runner, name) for runner in runners)
+                for name in _RUNNER_COUNTERS
+            }
+            return self.metrics.snapshot(
+                queued=len(self._queue),
+                running=running,
+                runner_counters=runner_counters,
+                extra={
+                    "queue": {
+                        "depth": len(self._queue),
+                        "bound": self._queue.bound,
+                        "shards": self._queue.shards,
+                    },
+                    "quota": self._quota.snapshot(),
+                    "draining": self._draining,
+                    "workers": self.workers,
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> str | None:
+        """Execute one queued job inline; returns its key (or None).
+
+        The deterministic single-threaded twin of the worker loop, for
+        ``workers=0`` services driven by property tests.
+        """
+        with self._cond:
+            key = self._queue.pop()
+            if key is None:
+                return None
+            self._mark_running(key)
+            if self._inline_runner is None:
+                self._inline_runner = self._make_runner()
+            runner = self._inline_runner
+        self._execute_and_settle(key, runner)
+        return key
+
+    def _make_runner(self) -> SimulationRunner:
+        cache = self.cache if self._shared_cache else (
+            ResultCache(self._cache_dir) if self._cache_dir else None)
+        kwargs = {"execute": self.execute} if self.execute is not None else {}
+        return SimulationRunner(jobs=self.jobs, cache=cache,
+                                retry=self.retry, timeout=self.timeout,
+                                **kwargs)
+
+    def _worker_loop(self) -> None:
+        runner = self._make_runner()
+        with self._cond:
+            self._runners.append(runner)
+        while True:
+            with self._cond:
+                while not self._draining and not len(self._queue):
+                    self._cond.wait(0.1)
+                if self._draining:
+                    return
+                key = self._queue.pop()
+                if key is None:
+                    continue
+                self._mark_running(key)
+            self._execute_and_settle(key, runner)
+
+    def _mark_running(self, key: str) -> None:
+        record = self._records[key]
+        record.state = RUNNING
+        record.started_at = time.monotonic()
+
+    def _execute_and_settle(self, key: str,
+                            runner: SimulationRunner) -> None:
+        record = self._records[key]
+        try:
+            payload = runner.run_one(record.spec)
+        except Exception as error:
+            self._settle(record, FAILED,
+                         error=f"{type(error).__name__}: {error}")
+        else:
+            self._settle(record, DONE, result=result_to_wire(payload))
+
+    def _settle(self, record: JobRecord, state: str, *,
+                result: dict | None = None, error: str | None = None) -> None:
+        with self._cond:
+            record.state = state
+            record.result = result
+            record.error = error
+            record.finished_at = time.monotonic()
+            self.metrics.record_latency(
+                record.finished_at - record.submitted_at)
+            for tenant, count in record.tenants.items():
+                self._quota.release(tenant, count)
+            record.tenants.clear()
+            if state == DONE:
+                self.metrics.completed += 1
+                if self._journal is not None:
+                    self._journal.record_done(record.key)
+            else:
+                self.metrics.failed += 1
+                if self._journal is not None:
+                    self._journal.record_failed(record.key, error or "")
+            callbacks, info = self._take_callbacks(record)
+            self._cond.notify_all()
+        self._run_callbacks(callbacks, info)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _terminal_record(self, key: str, spec: JobSpec, state: str, *,
+                         result: dict | None, submitted_at: float,
+                         ) -> JobRecord:
+        record = JobRecord(key=key, spec=spec, state=state, result=result,
+                           submitted_at=submitted_at,
+                           finished_at=submitted_at)
+        self._records[key] = record
+        return record
+
+    def _poll_info(self, record: JobRecord, *, deduped: bool = False,
+                   cached: bool = False) -> dict:
+        return {
+            "key": record.key,
+            "state": record.state,
+            "trace_name": record.spec.trace_name,
+            "config_name": record.spec.config_name,
+            "attachments": record.attachments,
+            "deduped": deduped,
+            "cached": cached,
+            "result": record.result,
+            "error": record.error,
+        }
+
+    def _take_callbacks(self, record: JobRecord) -> tuple[list, dict]:
+        callbacks = record.callbacks
+        record.callbacks = []
+        return callbacks, self._poll_info(record)
+
+    @staticmethod
+    def _run_callbacks(callbacks: list, info: dict) -> None:
+        for fn in callbacks:
+            try:
+                fn(info)
+            except Exception:
+                # A waiter's bridge (e.g. a closed event loop) must
+                # never take the worker down with it.
+                pass
+
+    def _resume_from_journal(self) -> None:
+        """Re-enqueue pending journaled jobs; rehydrate done ones."""
+        for key, entry in self._journal.entries.items():
+            if entry["terminal"] != "done" or entry["spec"] is None:
+                continue
+            if self.cache is None:
+                continue
+            self.metrics.cache_lookups += 1
+            hit, payload = self.cache.get(key)
+            if not hit:
+                continue
+            self.metrics.cache_hits += 1
+            try:
+                spec = spec_from_wire(entry["spec"])
+            except ReproError:
+                continue
+            self._terminal_record(key, spec, DONE,
+                                  result=result_to_wire(payload),
+                                  submitted_at=time.monotonic())
+        for key, wire, tenants in self._journal.pending():
+            try:
+                spec = spec_from_wire(wire)
+            except ReproError:
+                continue  # journal written by an incompatible version
+            now = time.monotonic()
+            if self.cache is not None:
+                # Crash window: the payload was published to the cache
+                # but the ``done`` line never made it to the journal.
+                self.metrics.cache_lookups += 1
+                hit, payload = self.cache.get(key)
+                if hit:
+                    self.metrics.cache_hits += 1
+                    self._terminal_record(key, spec, DONE,
+                                          result=result_to_wire(payload),
+                                          submitted_at=now)
+                    self._journal.record_done(key)
+                    continue
+            record = JobRecord(key=key, spec=spec, state=QUEUED,
+                               tenants=Counter(tenants), submitted_at=now)
+            for tenant in record.tenants:
+                for _ in range(record.tenants[tenant]):
+                    self._quota.charge(tenant, force=True)
+            self._records[key] = record
+            self._queue.push(key, force=True)
+            self.metrics.resumed += 1

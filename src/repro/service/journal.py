@@ -1,0 +1,164 @@
+"""Append-only lifecycle journal: the service's drain/resume substrate.
+
+Where the runner's :class:`~repro.resilience.CheckpointJournal` records
+only *resolutions*, a long-running service must also remember what it
+**accepted**: a SIGTERM drain checkpoints every in-flight job by
+construction because the job was journaled at submission, before any
+worker touched it.  One JSON line per lifecycle event::
+
+    {"status": "submitted", "key": ..., "tenant": ..., "spec": {...}}
+    {"status": "attached",  "key": ..., "tenant": ...}
+    {"status": "done",      "key": ...}
+    {"status": "failed",    "key": ..., "error": ...}
+    {"status": "cancelled", "key": ...}
+
+``submitted`` carries the full wire spec, so a restarted service can
+re-enqueue pending work with zero client involvement; ``attached``
+records single-flight dedup attachments so resumed quota accounting
+stays faithful.  Lines are flushed as written (crash-consistent) and a
+torn trailing line from a killed writer is skipped on load, exactly
+like the checkpoint journal.  A key may cycle: a terminal line followed
+by a fresh ``submitted`` line re-opens it (failed-job resubmission).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import CheckpointError
+
+SUBMITTED = "submitted"
+ATTACHED = "attached"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+_TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+class ServiceJournal:
+    """Append-only JSONL record of every job lifecycle transition."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        # key -> {"spec": wire, "tenants": [..], "terminal": status|None}
+        self.entries: dict[str, dict] = {}
+        directory = os.path.dirname(path)
+        if directory:
+            try:
+                os.makedirs(directory, exist_ok=True)
+            except (FileExistsError, NotADirectoryError) as error:
+                raise CheckpointError(
+                    f"journal directory {directory!r} is not writable"
+                ) from error
+        if os.path.exists(path):
+            self._load()
+        try:
+            self._fh = open(path, "a", encoding="utf-8")
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot open service journal {path!r}: {error}"
+            ) from error
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read service journal {self.path!r}: {error}"
+            ) from error
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+                status = event["status"]
+                key = event["key"]
+            except (ValueError, TypeError, KeyError):
+                # Torn trailing line from a killed writer: everything
+                # before it is still a valid checkpoint.
+                continue
+            self._apply(status, key, event)
+
+    def _apply(self, status: str, key: str, event: dict) -> None:
+        if status == SUBMITTED:
+            entry = self.entries.get(key)
+            if entry is None or entry["terminal"] is not None:
+                entry = {"spec": None, "tenants": [], "terminal": None}
+                self.entries[key] = entry
+            entry["spec"] = event.get("spec", entry["spec"])
+            entry["tenants"].append(event.get("tenant", "default"))
+        elif status == ATTACHED:
+            entry = self.entries.get(key)
+            if entry is not None and entry["terminal"] is None:
+                entry["tenants"].append(event.get("tenant", "default"))
+        elif status in _TERMINAL:
+            entry = self.entries.get(key)
+            if entry is not None:
+                entry["terminal"] = status
+
+    def _write(self, event: dict) -> None:
+        self._apply(event["status"], event["key"], event)
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def record_submitted(self, key: str, spec_wire: dict,
+                         tenant: str) -> None:
+        """A new job was accepted (spec checkpointed for resume)."""
+        self._write({"status": SUBMITTED, "key": key, "tenant": tenant,
+                     "spec": spec_wire})
+
+    def record_attached(self, key: str, tenant: str) -> None:
+        """A duplicate submission attached to an in-flight job."""
+        self._write({"status": ATTACHED, "key": key, "tenant": tenant})
+
+    def record_done(self, key: str) -> None:
+        """The job resolved; its payload is in the result cache."""
+        self._write({"status": DONE, "key": key})
+
+    def record_failed(self, key: str, error: str) -> None:
+        """The job terminally failed."""
+        self._write({"status": FAILED, "key": key, "error": error})
+
+    def record_cancelled(self, key: str) -> None:
+        """Every attachment of a queued job was cancelled."""
+        self._write({"status": CANCELLED, "key": key})
+
+    def pending(self) -> list[tuple[str, dict, list[str]]]:
+        """``(key, spec_wire, tenants)`` for every non-terminal job.
+
+        Journal insertion order, so a resumed service re-enqueues in
+        the order clients originally submitted.
+        """
+        return [
+            (key, entry["spec"], list(entry["tenants"]))
+            for key, entry in self.entries.items()
+            if entry["terminal"] is None and entry["spec"] is not None
+        ]
+
+    @property
+    def done_keys(self) -> set[str]:
+        """Keys whose jobs completed (payload expected in the cache)."""
+        return {key for key, entry in self.entries.items()
+                if entry["terminal"] == DONE}
+
+    def flush(self) -> None:
+        """Flush and fsync buffered lines to disk."""
+        if not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Flush and close the journal file."""
+        if not self._fh.closed:
+            self.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "ServiceJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

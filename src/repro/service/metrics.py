@@ -1,0 +1,85 @@
+"""Service-level counters and latency quantiles (SLO metrics).
+
+:class:`ServiceMetrics` is a plain counter bag mutated under the
+service core's lock — it does no locking of its own.  The snapshot it
+renders is the ``GET /metrics`` payload: job-lifecycle counters
+(submitted / deduped / rejected / completed), cache effectiveness, and
+p50/p95 job latency measured from submission to terminal state, which
+is the number a latency SLO is written against.
+
+Quantiles use the nearest-rank method over every recorded latency —
+deterministic, dependency-free, and exact for the test-sized streams
+the harness asserts on.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def nearest_rank(values: list[float], quantile: float) -> float:
+    """Nearest-rank quantile of ``values`` (``quantile`` in [0, 1])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(quantile * len(ordered)))
+    return ordered[rank - 1]
+
+
+class ServiceMetrics:
+    """Mutable counter bag for one service instance."""
+
+    COUNTERS = (
+        "submitted",          # every submission received (incl. dedup/hits)
+        "accepted",           # submissions that enqueued a new execution
+        "deduped",            # submissions attached to an in-flight job
+        "cache_hits",         # submissions answered by the result cache
+        "cache_lookups",      # read-through probes at submit time
+        "rejected_queue_full",
+        "rejected_quota",
+        "rejected_draining",
+        "completed",
+        "failed",
+        "cancelled",
+        "resumed",            # jobs re-enqueued from the journal on start
+        "streamed",           # results delivered over streaming responses
+    )
+
+    def __init__(self) -> None:
+        for name in self.COUNTERS:
+            setattr(self, name, 0)
+        self.latencies: list[float] = []
+
+    def record_latency(self, seconds: float) -> None:
+        """Record one job's submit-to-terminal latency."""
+        self.latencies.append(seconds)
+
+    def snapshot(self, *, queued: int, running: int,
+                 runner_counters: dict | None = None,
+                 extra: dict | None = None) -> dict:
+        """Render the ``GET /metrics`` document."""
+        hit_denominator = max(1, self.cache_lookups)
+        document = {
+            "jobs": {
+                **{name: getattr(self, name) for name in self.COUNTERS},
+                "queued": queued,
+                "running": running,
+            },
+            "cache": {
+                "lookups": self.cache_lookups,
+                "hits": self.cache_hits,
+                "hit_rate": self.cache_hits / hit_denominator,
+            },
+            "latency": {
+                "count": len(self.latencies),
+                "p50_s": nearest_rank(self.latencies, 0.50),
+                "p95_s": nearest_rank(self.latencies, 0.95),
+                "mean_s": (sum(self.latencies) / len(self.latencies)
+                           if self.latencies else 0.0),
+            },
+        }
+        if runner_counters is not None:
+            document["runner"] = dict(runner_counters)
+        if extra:
+            document.update(extra)
+        return document

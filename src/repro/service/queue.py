@@ -1,0 +1,137 @@
+"""Sharded bounded job queue and per-tenant quota accounting.
+
+Both structures are deliberately lock-free: the service core serializes
+every mutation under its own condition-variable lock, so these stay
+simple, deterministic containers.
+
+:class:`ShardedJobQueue` spreads job keys across ``shards`` FIFO deques
+by key hash (job keys are already uniform blake2b hex, so the low bits
+shard evenly) and enforces one **global** bound across shards — the
+backpressure contract is "at most N jobs queued in this service", not
+per-shard.  :meth:`push` raises :class:`~repro.errors.QueueFullError`
+with a ``retry_after`` hint when full; :meth:`pop` round-robins across
+non-empty shards so one hot shard cannot starve the rest.
+
+:class:`QuotaLedger` counts in-flight (queued + running) job
+attachments per tenant and rejects a submission that would exceed the
+limit with :class:`~repro.errors.QuotaExceededError` — also retryable,
+once the tenant's jobs resolve.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueueFullError, QuotaExceededError, ReproError
+
+
+class ShardedJobQueue:
+    """Bounded multi-shard FIFO of job keys (not thread-safe by itself)."""
+
+    def __init__(self, bound: int = 64, shards: int = 4,
+                 retry_after: float = 1.0) -> None:
+        if bound < 1:
+            raise ReproError(f"queue bound must be >= 1, got {bound}")
+        if shards < 1:
+            raise ReproError(f"queue shards must be >= 1, got {shards}")
+        self.bound = bound
+        self.shards = shards
+        self.retry_after = retry_after
+        self._shards: list[list[str]] = [[] for _ in range(shards)]
+        self._members: set[str] = set()
+        self._next = 0  # round-robin pop cursor
+
+    def _shard_of(self, key: str) -> int:
+        # Stable across processes (built-in str hash is salted): job
+        # keys are blake2b hex, so their leading bits shard uniformly.
+        try:
+            return int(key[:8], 16) % self.shards
+        except ValueError:
+            import hashlib
+
+            digest = hashlib.blake2b(key.encode(), digest_size=4).digest()
+            return int.from_bytes(digest, "big") % self.shards
+
+    def push(self, key: str, force: bool = False) -> None:
+        """Enqueue a key; raises :class:`QueueFullError` at the bound.
+
+        ``force`` bypasses the bound — used only when re-enqueueing
+        journaled jobs on resume, which must never be dropped because
+        the configured bound shrank between runs.
+        """
+        if not force and len(self._members) >= self.bound:
+            raise QueueFullError(
+                f"job queue full ({self.bound} queued); retry after "
+                f"{self.retry_after:g}s",
+                retry_after=self.retry_after,
+            )
+        if key in self._members:
+            return
+        self._shards[self._shard_of(key)].append(key)
+        self._members.add(key)
+
+    def pop(self) -> str | None:
+        """Dequeue the next key round-robin across non-empty shards."""
+        for offset in range(self.shards):
+            index = (self._next + offset) % self.shards
+            if self._shards[index]:
+                self._next = (index + 1) % self.shards
+                key = self._shards[index].pop(0)
+                self._members.discard(key)
+                return key
+        return None
+
+    def remove(self, key: str) -> bool:
+        """Drop a queued key (cancellation); True if it was queued."""
+        if key not in self._members:
+            return False
+        self._shards[self._shard_of(key)].remove(key)
+        self._members.discard(key)
+        return True
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+
+class QuotaLedger:
+    """Per-tenant in-flight job accounting (not thread-safe by itself)."""
+
+    def __init__(self, limit: int | None = None,
+                 retry_after: float = 1.0) -> None:
+        if limit is not None and limit < 1:
+            raise ReproError(f"quota limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.retry_after = retry_after
+        self._inflight: dict[str, int] = {}
+
+    def charge(self, tenant: str, force: bool = False) -> None:
+        """Account one in-flight attachment; raises at the limit.
+
+        ``force`` bypasses the limit for journal-resumed attachments —
+        already-accepted work is never rejected retroactively.
+        """
+        count = self._inflight.get(tenant, 0)
+        if not force and self.limit is not None and count >= self.limit:
+            raise QuotaExceededError(
+                f"tenant {tenant!r} has {count} in-flight jobs "
+                f"(quota {self.limit}); retry after {self.retry_after:g}s",
+                retry_after=self.retry_after,
+            )
+        self._inflight[tenant] = count + 1
+
+    def release(self, tenant: str, count: int = 1) -> None:
+        """Release ``count`` attachments for a tenant."""
+        remaining = self._inflight.get(tenant, 0) - count
+        if remaining > 0:
+            self._inflight[tenant] = remaining
+        else:
+            self._inflight.pop(tenant, None)
+
+    def inflight(self, tenant: str) -> int:
+        """Current in-flight attachment count for a tenant."""
+        return self._inflight.get(tenant, 0)
+
+    def snapshot(self) -> dict:
+        """``{"limit": ..., "tenants": {...}}`` for the metrics endpoint."""
+        return {"limit": self.limit, "tenants": dict(self._inflight)}

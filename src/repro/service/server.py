@@ -1,0 +1,413 @@
+"""Asyncio HTTP front end for :class:`~repro.service.core.JobService`.
+
+A deliberately small HTTP/1.1 server built on :mod:`asyncio` streams —
+no framework, no new dependencies — exposing the service as JSON over
+a handful of routes:
+
+========================  ====================================================
+``POST /jobs``            submit ``{"spec": <wire spec>, "tenant": ...}``
+                          (or a bare wire spec); 200 poll document,
+                          400 malformed spec, 429 + ``Retry-After`` on
+                          queue-full/quota, 503 + ``Retry-After`` while
+                          draining
+``GET /jobs/<key>``       poll document, 404 unknown key
+``GET /jobs/<key>/wait``  block until terminal (``?timeout=seconds``
+                          returns the current state on expiry)
+``POST /jobs/<key>/cancel``  detach one attachment (body may carry
+                          ``{"tenant": ...}``)
+``GET /stream?keys=a,b``  ``application/x-ndjson`` stream: one JSON line
+                          per key, written **as each job settles**, in
+                          completion order
+``GET /metrics``          the service metrics snapshot
+``POST /drain``           drain the service (blocks until workers exit)
+``GET /healthz``          liveness + draining flag
+========================  ====================================================
+
+Every response closes the connection (``Connection: close``), which
+keeps the protocol trivially correct; the stdlib client opens one
+connection per call.  Worker-thread completions are bridged into the
+event loop with ``loop.call_soon_threadsafe`` via the core's
+``add_done_callback`` — the loop never blocks on a simulation, and
+blocking core calls (submit, drain, metrics) run on the default
+executor.
+
+:class:`ServiceServer` owns the listening socket and the graceful
+shutdown path: SIGTERM/SIGINT (when installable, i.e. in a main
+thread) or a ``drain_after`` deadline trigger a drain — intake starts
+returning 503, running jobs finish, the journal is flushed — before
+the socket closes.  Queued-but-unstarted jobs stay checkpointed in the
+journal for the next start.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import (
+    ConfigurationError,
+    QueueFullError,
+    QuotaExceededError,
+    ReproError,
+    ServiceError,
+)
+from repro.service.core import JobService
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_MAX_HEAD = 64 * 1024
+_MAX_BODY = 64 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    """Internal: carries a ready-to-send error response."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None,
+                 exit_code: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+        self.exit_code = exit_code
+
+
+def _error_for(error: ReproError) -> _HttpError:
+    """Map the service error taxonomy onto HTTP statuses."""
+    retry_after = getattr(error, "retry_after", None)
+    if isinstance(error, (QueueFullError, QuotaExceededError)):
+        return _HttpError(429, str(error), retry_after=retry_after,
+                          exit_code=error.exit_code)
+    if isinstance(error, ConfigurationError):
+        return _HttpError(400, str(error), exit_code=error.exit_code)
+    if isinstance(error, ServiceError):
+        return _HttpError(503, str(error),
+                          retry_after=retry_after or 1.0,
+                          exit_code=error.exit_code)
+    return _HttpError(500, str(error), exit_code=error.exit_code)
+
+
+class ServiceServer:
+    """One listening socket in front of one :class:`JobService`."""
+
+    def __init__(self, service: JobService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port  # replaced by the bound port after start()
+        self._server: asyncio.AbstractServer | None = None
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "ServiceServer":
+        """Bind and start serving; resolves ``self.port`` when 0."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=_MAX_HEAD)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to drain and exit (thread-safe)."""
+        if self._loop is None or self._stop is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop.set)
+
+    async def serve_until_stopped(self,
+                                  drain_after: float | None = None) -> None:
+        """Serve until SIGTERM/SIGINT, :meth:`request_stop` or deadline.
+
+        On the way out the service is drained **before** the socket
+        closes, so late pollers still get answers while workers finish;
+        then the socket closes and the journal is released.
+        """
+        assert self._server is not None and self._stop is not None
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self._stop.set)
+                installed.append(signum)
+            except (ValueError, NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without signals
+        timer = (loop.call_later(drain_after, self._stop.set)
+                 if drain_after is not None else None)
+        try:
+            await self._stop.wait()
+            await loop.run_in_executor(None, self.service.drain)
+        finally:
+            if timer is not None:
+                timer.cancel()
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            self._server.close()
+            await self._server.wait_closed()
+            await loop.run_in_executor(None, self.service.stop)
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, query, body = await self._read_request(reader)
+            except _HttpError as error:
+                await self._send_error(writer, error)
+                return
+            try:
+                await self._route(writer, method, path, query, body)
+            except _HttpError as error:
+                await self._send_error(writer, error)
+            except ReproError as error:
+                await self._send_error(writer, _error_for(error))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise _HttpError(400, "request head too large") from None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line: {lines[0]!r}")
+        method, target, _version = parts
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "malformed Content-Length") from None
+        if length < 0 or length > _MAX_BODY:
+            raise _HttpError(400, f"unacceptable Content-Length {length}")
+        body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        return method.upper(), split.path, parse_qs(split.query), body
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ConfigurationError(
+                f"malformed job spec: request body is not JSON: {error}"
+            ) from error
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                "malformed job spec: request body must be a JSON object")
+        return data
+
+    async def _route(self, writer, method: str, path: str,
+                     query: dict, body: bytes) -> None:
+        loop = asyncio.get_running_loop()
+        if path == "/healthz" and method == "GET":
+            await self._send_json(writer, 200, {
+                "ok": True, "draining": self.service.draining})
+            return
+        if path == "/metrics" and method == "GET":
+            snapshot = await loop.run_in_executor(
+                None, self.service.metrics_snapshot)
+            await self._send_json(writer, 200, snapshot)
+            return
+        if path == "/drain" and method == "POST":
+            await loop.run_in_executor(None, self.service.drain)
+            await self._send_json(writer, 200, {"drained": True})
+            return
+        if path == "/jobs" and method == "POST":
+            data = self._json_body(body)
+            spec = data.get("spec", data)
+            tenant = data.get("tenant", "default")
+            if not isinstance(tenant, str) or not tenant:
+                raise ConfigurationError(
+                    "malformed job spec: tenant must be a non-empty string")
+            info = await loop.run_in_executor(
+                None, self.service.submit, spec, tenant)
+            await self._send_json(writer, 200, info)
+            return
+        if path == "/stream" and method == "GET":
+            await self._stream(writer, query)
+            return
+        if path.startswith("/jobs/"):
+            await self._job_route(writer, method, path, query, body)
+            return
+        raise _HttpError(404, f"no such route: {method} {path}")
+
+    async def _job_route(self, writer, method: str, path: str,
+                         query: dict, body: bytes) -> None:
+        loop = asyncio.get_running_loop()
+        parts = path.split("/")  # ["", "jobs", key] or ["", "jobs", key, verb]
+        key = parts[2] if len(parts) > 2 else ""
+        verb = parts[3] if len(parts) > 3 else None
+        if verb is None and method == "GET":
+            info = await loop.run_in_executor(None, self.service.poll, key)
+            if info is None:
+                raise _HttpError(404, f"unknown job key {key!r}")
+            await self._send_json(writer, 200, info)
+            return
+        if verb == "wait" and method == "GET":
+            timeout = self._float_param(query, "timeout")
+            info = await self._wait_terminal(key, timeout)
+            if info is None:
+                raise _HttpError(404, f"unknown job key {key!r}")
+            await self._send_json(writer, 200, info)
+            return
+        if verb == "cancel" and method == "POST":
+            data = self._json_body(body)
+            tenant = data.get("tenant", "default")
+            info = await loop.run_in_executor(
+                None, self.service.cancel, key, tenant)
+            if info is None:
+                raise _HttpError(404, f"unknown job key {key!r}")
+            await self._send_json(writer, 200, info)
+            return
+        raise _HttpError(404, f"no such route: {method} {path}")
+
+    @staticmethod
+    def _float_param(query: dict, name: str) -> float | None:
+        values = query.get(name)
+        if not values:
+            return None
+        try:
+            return float(values[0])
+        except ValueError:
+            raise _HttpError(
+                400, f"query parameter {name!r} must be a number") from None
+
+    async def _wait_terminal(self, key: str,
+                             timeout: float | None) -> dict | None:
+        """Await the job's terminal document via the callback bridge."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def settle(info: dict) -> None:
+            loop.call_soon_threadsafe(self._resolve, future, info)
+
+        known = await loop.run_in_executor(
+            None, self.service.add_done_callback, key, settle)
+        if not known:
+            return None
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            # Not terminal yet: report the current state instead.
+            return await loop.run_in_executor(None, self.service.poll, key)
+
+    @staticmethod
+    def _resolve(future: asyncio.Future, info: dict) -> None:
+        if not future.done():
+            future.set_result(info)
+
+    async def _stream(self, writer, query: dict) -> None:
+        keys: list[str] = []
+        for chunk in query.get("keys", []):
+            keys.extend(k for k in chunk.split(",") if k)
+        if not keys:
+            raise _HttpError(400, "stream requires ?keys=<key>[,<key>...]")
+        timeout = self._float_param(query, "timeout")
+        loop = asyncio.get_running_loop()
+        settled: asyncio.Queue = asyncio.Queue()
+
+        def bridge(info: dict) -> None:
+            loop.call_soon_threadsafe(settled.put_nowait, info)
+
+        expected = 0
+        for key in dict.fromkeys(keys):  # dedupe, keep order
+            known = await loop.run_in_executor(
+                None, self.service.add_done_callback, key, bridge)
+            if known:
+                expected += 1
+            else:
+                settled.put_nowait({"key": key, "state": "unknown",
+                                    "result": None, "error": None})
+                expected += 1
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+        for _ in range(expected):
+            if timeout is not None:
+                try:
+                    info = await asyncio.wait_for(settled.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+            else:
+                info = await settled.get()
+            line = json.dumps(info, sort_keys=True) + "\n"
+            writer.write(line.encode("utf-8"))
+            await writer.drain()
+            if info.get("state") != "unknown":
+                self.service.note_streamed()
+
+    # ------------------------------------------------------------------
+    # response helpers
+    # ------------------------------------------------------------------
+
+    async def _send_json(self, writer, status: int, payload: dict,
+                         retry_after: float | None = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        if retry_after is not None:
+            head.append(f"Retry-After: {retry_after:g}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+
+    async def _send_error(self, writer, error: _HttpError) -> None:
+        payload = {"error": str(error)}
+        if error.exit_code is not None:
+            payload["exit_code"] = error.exit_code
+        if error.retry_after is not None:
+            payload["retry_after"] = error.retry_after
+        await self._send_json(writer, error.status, payload,
+                              retry_after=error.retry_after)
+
+
+def serve(service: JobService, host: str = "127.0.0.1", port: int = 0,
+          *, drain_after: float | None = None, on_ready=None) -> None:
+    """Run a service behind an HTTP front end until drained.
+
+    Blocking entry point used by ``repro serve``: starts the workers,
+    binds the socket, calls ``on_ready(server)`` (the CLI prints the
+    bound address from it), then serves until a SIGTERM/SIGINT or the
+    ``drain_after`` deadline triggers the graceful drain.
+    """
+
+    async def _main() -> None:
+        server = await ServiceServer(service, host, port).start()
+        service.start()
+        if on_ready is not None:
+            on_ready(server)
+        await server.serve_until_stopped(drain_after=drain_after)
+
+    asyncio.run(_main())

@@ -1,0 +1,197 @@
+"""JSON wire forms of job specs and results for the service API.
+
+A client submits a :class:`~repro.runner.job.JobSpec` as plain JSON
+(:func:`spec_to_wire` / :func:`spec_from_wire`); the server answers
+with a compact result summary (:func:`result_to_wire`) rather than the
+full pickled payload.  Two properties matter:
+
+* **content addressing survives the wire** — :func:`spec_from_wire`
+  rebuilds the spec through the same constructors the local runner
+  uses (:func:`~repro.runner.job.levels_job` and friends), recomputing
+  the trace signature from the transmitted records, so a job submitted
+  over HTTP lands on exactly the cache key a local run of the same
+  cell would use (read-through cache + single-flight dedup for free);
+* **bit-identity is checkable end to end** — every result summary
+  carries ``digest``, a blake2b hash of the canonical pickle of the
+  payload, which is the same representation the chaos proof compares.
+  Two runs produced identical results iff their digests match, so a
+  client can verify a chaos-interrupted service recovered perfectly
+  without shipping the payload back.
+
+Malformed wire input raises :class:`~repro.errors.ConfigurationError`
+(CLI exit code 3), never a traceback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+from repro.config_io import system_from_dict, system_to_dict
+from repro.errors import ConfigurationError
+from repro.runner.job import (
+    JobSpec,
+    KIND_ALONE_IPC,
+    KIND_LEVELS,
+    KIND_MIX,
+    KIND_TRACE,
+    alone_ipc_job,
+    levels_job,
+    mix_job,
+    trace_job,
+)
+from repro.sim.trace import Trace
+
+WIRE_KINDS = (KIND_LEVELS, KIND_TRACE, KIND_MIX, KIND_ALONE_IPC)
+
+_DIGEST_SIZE = 16
+
+
+def spec_to_wire(spec: JobSpec) -> dict:
+    """Serialize a :class:`JobSpec` into a plain-JSON dict."""
+    if spec.kind == KIND_MIX:
+        records = [[list(record) for record in core] for core in spec.records]
+    else:
+        records = [list(record) for record in spec.records]
+    return {
+        "kind": spec.kind,
+        "trace_name": spec.trace_name,
+        "config_name": spec.config_name,
+        "records": records,
+        "params": (system_to_dict(spec.params)
+                   if spec.params is not None else None),
+        "warmup": spec.warmup,
+        "max_instructions": spec.max_instructions,
+        "roi": spec.roi,
+        "seed": spec.seed,
+        "engine": spec.engine,
+    }
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(f"malformed job spec: {message}")
+
+
+def _as_records(raw: object, where: str) -> list[tuple[int, int, int, int]]:
+    _require(isinstance(raw, list) and raw, f"{where} must be a non-empty "
+             "list of [kind, ip, addr, dep] records")
+    records = []
+    for index, item in enumerate(raw):
+        _require(isinstance(item, (list, tuple)) and len(item) == 4,
+                 f"{where}[{index}] is not a 4-element record")
+        _require(all(isinstance(field, int) and not isinstance(field, bool)
+                     for field in item),
+                 f"{where}[{index}] has non-integer fields")
+        records.append(tuple(item))
+    return records
+
+
+def _optional_int(data: dict, field: str) -> int | None:
+    value = data.get(field)
+    if value is None:
+        return None
+    _require(isinstance(value, int) and not isinstance(value, bool),
+             f"{field} must be an integer or null")
+    return value
+
+
+def spec_from_wire(data: object) -> JobSpec:
+    """Rebuild a validated :class:`JobSpec` from its wire dict.
+
+    The trace signature is always recomputed from the transmitted
+    records (a submitted signature is ignored), so the resulting cache
+    key is trustworthy: a client cannot alias one job's records onto
+    another job's cache slot.
+    """
+    _require(isinstance(data, dict), "expected a JSON object")
+    kind = data.get("kind", KIND_LEVELS)
+    _require(kind in WIRE_KINDS,
+             f"unknown kind {kind!r}; expected one of {WIRE_KINDS}")
+    trace_name = data.get("trace_name")
+    _require(isinstance(trace_name, str) and trace_name,
+             "trace_name must be a non-empty string")
+    config_name = data.get("config_name", "none")
+    _require(isinstance(config_name, str) and config_name,
+             "config_name must be a non-empty string")
+    params = data.get("params")
+    if params is not None:
+        _require(isinstance(params, dict), "params must be an object or null")
+        params = system_from_dict(params)
+    warmup = _optional_int(data, "warmup")
+    max_instructions = _optional_int(data, "max_instructions")
+    roi = _optional_int(data, "roi")
+    seed = _optional_int(data, "seed")
+    engine = data.get("engine", "scalar")
+    _require(isinstance(engine, str), "engine must be a string")
+
+    try:
+        if kind == KIND_MIX:
+            raw = data.get("records")
+            names = trace_name.split("+")
+            _require(isinstance(raw, list) and raw,
+                     "records must be a non-empty list (one per core)")
+            _require(len(names) == len(raw),
+                     f"trace_name names {len(names)} cores but records "
+                     f"holds {len(raw)}")
+            traces = [
+                Trace(_as_records(core, f"records[{index}]"), name=name)
+                for index, (core, name) in enumerate(zip(raw, names))
+            ]
+            return mix_job(
+                traces, config_name, params=params,
+                warmup=warmup if warmup is not None else 5_000,
+                roi=roi if roi is not None else 20_000,
+                seed=seed if seed is not None else 1,
+                engine=engine,
+            )
+        trace = Trace(_as_records(data.get("records"), "records"),
+                      name=trace_name)
+        if kind == KIND_ALONE_IPC:
+            _require(params is not None, "alone-ipc jobs require params")
+            _require(warmup is not None and roi is not None,
+                     "alone-ipc jobs require warmup and roi")
+            return alone_ipc_job(trace, params, warmup, roi,
+                                 seed if seed is not None else 1)
+        build = trace_job if kind == KIND_TRACE else levels_job
+        return build(trace, config_name, params=params, warmup=warmup,
+                     max_instructions=max_instructions, engine=engine)
+    except ConfigurationError:
+        raise
+    except Exception as error:  # Trace/engine validation and friends
+        raise ConfigurationError(
+            f"malformed job spec: {type(error).__name__}: {error}"
+        ) from error
+
+
+def result_digest(payload: object) -> str:
+    """Bit-identity digest of a result payload's canonical pickle."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.blake2b(body, digest_size=_DIGEST_SIZE).hexdigest()
+
+
+def result_to_wire(payload: object) -> dict:
+    """Compact JSON summary of a result payload.
+
+    Always carries ``type`` and the bit-identity ``digest``; numeric
+    headline metrics are added for the payload shapes the runner
+    produces (``SimResult``/``TraceRunResult``/``MixResult``/alone-IPC
+    floats) so a client can read IPC without fetching the pickle.
+    """
+    wire: dict = {
+        "type": type(payload).__name__,
+        "digest": result_digest(payload),
+    }
+    if isinstance(payload, (int, float)):
+        wire["value"] = float(payload)
+        return wire
+    target = getattr(payload, "result", payload)  # TraceRunResult.result
+    for field in ("instructions", "cycles", "dram_reads"):
+        value = getattr(target, field, None)
+        if isinstance(value, int):
+            wire[field] = value
+    for field in ("ipc", "weighted_speedup"):
+        value = getattr(target, field, None)
+        if isinstance(value, (int, float)):
+            wire[field] = float(value)
+    return wire

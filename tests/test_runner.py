@@ -9,7 +9,9 @@ into zero simulations.
 
 from __future__ import annotations
 
+import os
 import pickle
+import threading
 
 import pytest
 
@@ -167,6 +169,17 @@ class TestPersistentCache:
         runner.run_one(spec)
         assert runner.simulations_run == 1
 
+    def test_corrupt_entry_evicted_from_disk(self, trace, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        spec = levels_job(trace, "none")
+        SimulationRunner(cache=cache).run_one(spec)
+        entry = cache._entry_path(spec.cache_key())
+        with open(entry, "wb") as fh:
+            fh.write(b"RPRC1\n" + b"\x00" * 16 + b"garbage")
+        hit, _ = cache.get(spec.cache_key())
+        assert not hit
+        assert not os.path.exists(entry)
+
     def test_len_counts_entries(self, trace, tmp_path):
         cache = ResultCache(str(tmp_path / "cache"))
         assert len(cache) == 0
@@ -174,6 +187,110 @@ class TestPersistentCache:
             levels_job(trace, "none"), levels_job(trace, "ipcp"),
         ])
         assert len(cache) == 2
+
+
+class TestConcurrentCacheWriters:
+    """Same-key races: last writer wins, eviction is never spurious.
+
+    The job service runs several worker threads against one cache
+    directory, so the same key can be written and read concurrently.
+    The contract: every published entry is complete (atomic replace),
+    the survivor of a same-key race is one of the written payloads,
+    and a reader evicting a corrupt blob can never take out a valid
+    entry a concurrent writer republished in the meantime.
+    """
+
+    KEY = "ab" + "0" * 30
+
+    def test_same_key_racing_puts_leave_valid_entry(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        payloads = [{"writer": index, "rows": list(range(64))}
+                    for index in range(8)]
+        barrier = threading.Barrier(len(payloads))
+
+        def hammer(payload):
+            barrier.wait()
+            for _ in range(25):
+                cache.put(self.KEY, payload)
+                hit, value = cache.get(self.KEY)
+                assert hit
+                assert value in payloads  # always complete, never torn
+
+        threads = [threading.Thread(target=hammer, args=(payload,))
+                   for payload in payloads]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        hit, survivor = cache.get(self.KEY)
+        assert hit
+        assert survivor in payloads
+        assert len(cache) == 1
+        assert cache.corrupt == 0
+
+    def test_evict_spares_entry_republished_after_corrupt_read(
+            self, tmp_path):
+        # The exact interleaving that used to lose a valid entry:
+        # reader opens a corrupt blob, a writer atomically republishes
+        # the key, then the reader's eviction fires.  The guarded
+        # eviction must notice the file changed under it and leave the
+        # republished entry alone.
+        cache = ResultCache(str(tmp_path / "cache"))
+        entry = cache._entry_path(self.KEY)
+        os.makedirs(os.path.dirname(entry), exist_ok=True)
+        with open(entry, "wb") as fh:
+            fh.write(b"RPRC1\n" + b"\x00" * 16 + b"garbage")
+        with open(entry, "rb") as fh:
+            stale_stat = os.fstat(fh.fileno())
+        cache.put(self.KEY, {"fresh": True})  # concurrent writer wins
+        cache._evict(entry, stale_stat)
+        hit, payload = cache.get(self.KEY)
+        assert hit
+        assert payload == {"fresh": True}
+
+    def test_evict_still_removes_unreplaced_corrupt_entry(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        entry = cache._entry_path(self.KEY)
+        os.makedirs(os.path.dirname(entry), exist_ok=True)
+        with open(entry, "wb") as fh:
+            fh.write(b"RPRC1\n" + b"\x00" * 16 + b"garbage")
+        with open(entry, "rb") as fh:
+            stat = os.fstat(fh.fileno())
+        cache._evict(entry, stat)
+        assert not os.path.exists(entry)
+
+    def test_reader_vs_writer_race_never_spuriously_recomputes(
+            self, tmp_path):
+        # One thread keeps republishing a valid entry while another
+        # keeps reading it: after the first put, every read must be a
+        # verified hit — a miss here would mean eviction took out a
+        # valid entry (the spurious evict-then-recompute bug).
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put(self.KEY, {"generation": -1})
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            generation = 0
+            while not stop.is_set():
+                cache.put(self.KEY, {"generation": generation})
+                generation += 1
+
+        def reader():
+            for _ in range(400):
+                hit, payload = cache.get(self.KEY)
+                if not hit or "generation" not in payload:
+                    failures.append(payload)
+            stop.set()
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        assert cache.corrupt == 0
 
 
 class TestMulticoreAloneRuns:

@@ -1,0 +1,195 @@
+"""Chaos proof for the job service: faults never change results.
+
+Reuses the seeded fault-injection harness (:mod:`repro.resilience.
+chaos`) as the service's execution function and cache, then holds the
+service to the same standard as the batch runner: every result
+delivered under injected worker crashes, transient failures and cache
+corruption — including across a drain/restart cycle that interrupts a
+half-finished queue — is **bit-identical** (equal canonical-pickle
+digest) to a fault-free run of the same spec.
+
+The tier-1 versions keep the grid small; the full soak rides behind
+``-m slow`` (CI runs it on the service job's reduced schedule).
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.resilience.chaos import (
+    CRASH,
+    ChaosCache,
+    ChaosPlan,
+    TRANSIENT,
+    chaos_execute_job,
+)
+from repro.runner import ResultCache, SimulationRunner
+from repro.runner.job import levels_job
+from repro.service import JobService, result_digest
+
+from conftest import make_stream_trace
+
+
+def service_trace(index: int):
+    return make_stream_trace(
+        n_loads=120, alu_per_load=2, name=f"chaos-svc-{index}",
+        ip=0x400_101 + index * 0x40, base=0x1000_0000 + index * 0x20_0000,
+    )
+
+
+def grid(n_traces: int, configs=("none", "ipcp")):
+    return [levels_job(service_trace(index), config)
+            for index in range(n_traces) for config in configs]
+
+
+def fault_free_digests(specs) -> dict:
+    runner = SimulationRunner()
+    return {spec.cache_key(): result_digest(runner.run_one(spec))
+            for spec in specs}
+
+
+class TestChaosService:
+    def test_faulty_service_is_bit_identical_to_fault_free(self, tmp_path):
+        specs = grid(2)
+        baseline = fault_free_digests(specs)
+        # Forced faults guarantee the mix regardless of code salt:
+        # one cell's worker crashes, another fails transiently, and
+        # every first cache publish is corrupted.
+        plan = ChaosPlan(
+            seed=11, corrupt_rate=1.0,
+            forced=(((specs[0].trace_name, "none"), CRASH),
+                    ((specs[1].trace_name, "ipcp"), TRANSIENT)),
+        )
+        cache = ChaosCache(ResultCache(str(tmp_path / "cache")), plan)
+        service = JobService(
+            workers=2, cache=cache,
+            execute=functools.partial(chaos_execute_job, plan=plan),
+        ).start()
+        try:
+            for spec in specs:
+                service.submit(spec)
+            for spec in specs:
+                done = service.wait(spec.cache_key(), timeout=120)
+                assert done["state"] == "done"
+                assert done["result"]["digest"] == baseline[spec.cache_key()]
+            snapshot = service.metrics_snapshot()
+            assert snapshot["runner"]["retries"] >= 2  # faults really fired
+            assert cache.corruptions == len(specs)
+        finally:
+            service.stop()
+
+    def test_corrupted_cache_recovers_on_read_through(self, tmp_path):
+        # Every first publish was corrupted; a later service resolving
+        # the same specs must detect the corruption at read-through,
+        # recompute, and still deliver bit-identical results.
+        specs = grid(1)
+        baseline = fault_free_digests(specs)
+        plan = ChaosPlan(seed=5, corrupt_rate=1.0)
+        cache_dir = str(tmp_path / "cache")
+        poisoned = ChaosCache(ResultCache(cache_dir), plan)
+        first = JobService(workers=1, cache=poisoned).start()
+        for spec in specs:
+            first.submit(spec)
+        for spec in specs:
+            first.wait(spec.cache_key(), timeout=120)
+        first.stop()
+        assert poisoned.corruptions == len(specs)
+
+        clean_cache = ResultCache(cache_dir)
+        second = JobService(workers=1, cache=clean_cache).start()
+        try:
+            for spec in specs:
+                info = second.submit(spec)
+                done = second.wait(spec.cache_key(), timeout=120)
+                assert done["state"] == "done"
+                assert done["result"]["digest"] == baseline[spec.cache_key()]
+            # The poisoned entries were evicted and recomputed, not
+            # trusted: the clean cache saw corruption, not hits.
+            assert clean_cache.corrupt == len(specs)
+        finally:
+            second.stop()
+
+    def test_chaos_interrupted_drain_resume_is_bit_identical(
+            self, tmp_path):
+        """The acceptance scenario: drain mid-queue under chaos, restart,
+        and every result still matches the fault-free baseline."""
+        specs = grid(3)  # 6 jobs
+        baseline = fault_free_digests(specs)
+        plan = ChaosPlan(
+            seed=23, transient_rate=0.4, corrupt_rate=0.5,
+            forced=(((specs[0].trace_name, "ipcp"), CRASH),),
+        )
+        cache_dir = str(tmp_path / "cache")
+        journal = str(tmp_path / "svc.jsonl")
+
+        # Phase 1: inline service accepts everything, executes only
+        # two jobs under fault injection, then drains mid-queue.
+        first = JobService(
+            workers=0, journal=journal,
+            cache=ChaosCache(ResultCache(cache_dir), plan),
+            execute=functools.partial(chaos_execute_job, plan=plan),
+        )
+        for spec in specs:
+            first.submit(spec)
+        assert first.step() is not None
+        assert first.step() is not None
+        first.stop()  # four jobs still checkpointed in the journal
+
+        # Phase 2: a fresh chaotic service resumes the interrupted
+        # queue and finishes it.
+        second = JobService(
+            workers=2, journal=journal,
+            cache=ChaosCache(ResultCache(cache_dir), plan),
+            execute=functools.partial(chaos_execute_job, plan=plan),
+        ).start()
+        try:
+            assert second.metrics.resumed == len(specs) - 2
+            for spec in specs:
+                done = second.wait(spec.cache_key(), timeout=120)
+                assert done is not None and done["state"] == "done"
+                assert done["result"]["digest"] == baseline[spec.cache_key()]
+        finally:
+            second.stop()
+
+
+@pytest.mark.slow
+class TestChaosServiceSoak:
+    def test_full_soak_with_restart_is_bit_identical(self, tmp_path):
+        """Large grid, random fault rates, a drain/restart mid-soak."""
+        specs = grid(6, configs=("none", "ipcp", "next_line"))  # 18 jobs
+        baseline = fault_free_digests(specs)
+        plan = ChaosPlan(seed=101, crash_rate=0.15, transient_rate=0.25,
+                         corrupt_rate=0.4, fault_attempts=1)
+        cache_dir = str(tmp_path / "cache")
+        journal = str(tmp_path / "svc.jsonl")
+
+        first = JobService(
+            workers=3, journal=journal,
+            cache=ChaosCache(ResultCache(cache_dir), plan),
+            execute=functools.partial(chaos_execute_job, plan=plan),
+        ).start()
+        for spec in specs[: len(specs) // 2]:
+            first.submit(spec)
+        # Let some finish, then drain whatever is left mid-flight.
+        first.wait(specs[0].cache_key(), timeout=120)
+        first.stop()
+
+        second = JobService(
+            workers=3, journal=journal,
+            cache=ChaosCache(ResultCache(cache_dir), plan),
+            execute=functools.partial(chaos_execute_job, plan=plan),
+        ).start()
+        try:
+            for spec in specs:
+                second.submit(spec)
+            for spec in specs:
+                done = second.wait(spec.cache_key(), timeout=300)
+                assert done["state"] == "done"
+                assert done["result"]["digest"] == baseline[spec.cache_key()]
+            snapshot = second.metrics_snapshot()
+            assert (snapshot["jobs"]["completed"]
+                    + snapshot["cache"]["hits"]) >= len(specs) // 2
+        finally:
+            second.stop()

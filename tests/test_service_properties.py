@@ -1,0 +1,171 @@
+"""Property-based tests: service state stays consistent under any ops.
+
+Drives a ``workers=0`` (inline-step) :class:`~repro.service.JobService`
+through arbitrary interleavings of submit / cancel / poll / step —
+including submissions that bounce off the queue bound and the tenant
+quota — and checks the global invariants the service promises no
+matter the order:
+
+* every ``done`` record's payload is readable from the result cache
+  and journaled terminal;
+* the journal's pending set is exactly the still-queued records — no
+  orphaned in-flight entries, nothing lost;
+* quota accounting equals the attachments of live records (rejections
+  and cancellations never leak budget);
+* the on-disk journal replays to the same state (a restarted service
+  resumes exactly the queued jobs).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueueFullError, QuotaExceededError
+from repro.runner.cache import ResultCache
+from repro.runner.job import levels_job
+from repro.service import JobService, ServiceJournal
+from repro.service.core import DONE, QUEUED
+
+from conftest import make_stream_trace
+
+SPECS = [
+    levels_job(
+        make_stream_trace(n_loads=40, alu_per_load=1, name=f"prop-{index}",
+                          ip=0x400_101 + index * 0x40,
+                          base=0x1000_0000 + index * 0x10_0000),
+        "none",
+    )
+    for index in range(4)
+]
+TENANTS = ("alice", "bob")
+
+
+def fake_execute(spec, attempt):
+    return {"key": spec.cache_key(), "attempt": attempt}
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.integers(0, len(SPECS) - 1),
+                  st.integers(0, len(TENANTS) - 1)),
+        st.tuples(st.just("cancel"), st.integers(0, len(SPECS) - 1),
+                  st.integers(0, len(TENANTS) - 1)),
+        st.tuples(st.just("step"), st.just(0), st.just(0)),
+        st.tuples(st.just("poll"), st.integers(0, len(SPECS) - 1),
+                  st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+@given(ops=operations)
+@settings(deadline=None)
+def test_any_interleaving_leaves_journal_and_cache_consistent(ops):
+    workdir = tempfile.mkdtemp(prefix="repro-svc-prop-")
+    try:
+        cache_dir = workdir + "/cache"
+        journal_path = workdir + "/svc.jsonl"
+        service = JobService(workers=0, cache_dir=cache_dir,
+                             journal=journal_path, queue_bound=3, quota=2,
+                             execute=fake_execute)
+        for op, spec_index, tenant_index in ops:
+            spec = SPECS[spec_index]
+            tenant = TENANTS[tenant_index]
+            if op == "submit":
+                try:
+                    service.submit(spec, tenant=tenant)
+                except (QueueFullError, QuotaExceededError):
+                    pass  # rejection is a legal outcome, state must hold
+            elif op == "cancel":
+                service.cancel(spec.cache_key(), tenant=tenant)
+            elif op == "step":
+                service.step()
+            elif op == "poll":
+                service.poll(spec.cache_key())
+
+        records = dict(service._records)
+        queued = {key for key, record in records.items()
+                  if record.state == QUEUED}
+        done = {key for key, record in records.items()
+                if record.state == DONE}
+
+        # Every completed key is readable from the shared cache.
+        cache = ResultCache(cache_dir)
+        for key in done:
+            hit, payload = cache.get(key)
+            assert hit, f"done key {key} missing from result cache"
+            assert payload["key"] == key
+
+        # The queue holds exactly the queued records.
+        assert len(service._queue) == len(queued)
+        for key in queued:
+            assert key in service._queue
+
+        # Quota accounting equals live attachments — no leaked budget
+        # from rejections, cancellations or completions.
+        for tenant in TENANTS:
+            live = sum(record.tenants.get(tenant, 0)
+                       for record in records.values()
+                       if record.state == QUEUED)
+            assert service._quota.inflight(tenant) == live
+
+        service.stop()
+
+        # The on-disk journal replays to the same pending set: a
+        # restarted service would resume exactly the queued jobs.
+        replay = ServiceJournal(journal_path)
+        pending_keys = {key for key, _, _ in replay.pending()}
+        assert pending_keys == queued
+        for key in done:
+            assert replay.entries[key]["terminal"] == "done"
+        replay.close()
+
+        resumed = JobService(workers=0, cache_dir=cache_dir,
+                             journal=journal_path, execute=fake_execute)
+        assert resumed.metrics.resumed == len(queued)
+        while resumed.step() is not None:
+            pass
+        for key in queued | done:
+            info = resumed.poll(key)
+            assert info is not None and info["state"] == "done"
+        resumed.stop()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+@given(events=st.lists(
+    st.tuples(st.sampled_from(["submitted", "attached", "done", "failed",
+                               "cancelled"]),
+              st.integers(0, 3), st.integers(0, 1)),
+    max_size=30,
+))
+@settings(deadline=None)
+def test_journal_replay_matches_in_memory_state(events):
+    """Any event sequence: reloading the file equals the live state."""
+    workdir = tempfile.mkdtemp(prefix="repro-svc-journal-")
+    try:
+        path = workdir + "/svc.jsonl"
+        journal = ServiceJournal(path)
+        for status, key_index, tenant_index in events:
+            key = f"k{key_index}"
+            tenant = TENANTS[tenant_index]
+            if status == "submitted":
+                journal.record_submitted(key, {"kind": "levels"}, tenant)
+            elif status == "attached":
+                journal.record_attached(key, tenant)
+            elif status == "done":
+                journal.record_done(key)
+            elif status == "failed":
+                journal.record_failed(key, "boom")
+            elif status == "cancelled":
+                journal.record_cancelled(key)
+        live = journal.entries
+        journal.close()
+        replay = ServiceJournal(path)
+        assert replay.entries == live
+        replay.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
