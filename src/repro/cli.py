@@ -486,9 +486,12 @@ def cmd_trace(args) -> int:
     from repro.telemetry import reconcile, summarize
     from repro.telemetry.export import read_events_jsonl
 
+    from repro.telemetry.export import events_digest
+
     if args.replay:
         events = read_events_jsonl(args.replay)
         _print_stream_summary(summarize(events), args.replay)
+        print(f"events digest: {events_digest(events)}")
         if args.out:
             _write_events(args.out, events)
         return 0
@@ -501,6 +504,7 @@ def cmd_trace(args) -> int:
     events = list(traced.events)
     _print_stream_summary(summarize(events),
                           f"{trace.name}/{args.prefetcher}")
+    print(f"events digest: {events_digest(events)}")
     if args.out:
         _write_events(args.out, events)
     mismatches = reconcile(events, traced.result)
@@ -615,6 +619,253 @@ def cmd_chaos(args) -> int:
         return 0
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def _print_ingest_report(report, *, written: int | None = None) -> None:
+    rows = list(report.summary_rows())
+    if written is not None:
+        rows.append(["records written", written])
+    print(format_table(["property", "value"], rows,
+                       title=f"Ingestion: {report.source}"))
+
+
+def cmd_ingest(args) -> int:
+    """Trace ingestion: registry actions and the input-fault proof."""
+    from repro.ingest import (
+        TraceRegistry,
+        ingest_k6,
+        stream_binary_columns,
+        stream_k6_columns,
+    )
+    from repro.ingest.convert import detect_format
+    from repro.ingest.k6 import make_report
+
+    if args.action == "register":
+        if not args.file:
+            raise ConfigurationError("ingest register needs --file PATH")
+        import os
+
+        name = args.name or os.path.basename(args.file)
+        registry = TraceRegistry(args.registry)
+        entry = registry.register(name, args.file, fmt=args.format)
+        print(format_table(
+            ["property", "value"],
+            [["name", name]] + [[k, entry[k]] for k in sorted(entry)],
+            title=f"Registered in {args.registry}"))
+        return 0
+
+    if args.action == "verify":
+        registry = TraceRegistry(args.registry)
+        if args.name:
+            registry.verify(args.name)
+            results = {args.name: "ok"}
+        else:
+            results = registry.verify_all()
+        rows = [[name, status] for name, status in sorted(results.items())]
+        print(format_table(["trace", "verification"], rows,
+                           title=f"Registry {args.registry}"))
+        return 1 if any(status != "ok" for status in results.values()) else 0
+
+    if args.action == "list":
+        registry = TraceRegistry(args.registry)
+        rows = [
+            [name, entry["format"], entry["records"], entry["bytes"],
+             entry["signature"][:16]]
+            for name, entry in sorted(registry.traces.items())
+        ]
+        print(format_table(
+            ["trace", "format", "records", "bytes", "signature[:16]"],
+            rows, title=f"Registry {args.registry}"))
+        return 0
+
+    if args.action == "run":
+        if not args.file:
+            raise ConfigurationError("ingest run needs --file PATH")
+        fmt = args.format or detect_format(args.file)
+        stream = (stream_binary_columns if fmt == "binary"
+                  else stream_k6_columns)
+        report = make_report(args.file, fmt, args.policy,
+                             max_errors=args.max_errors,
+                             quarantine_path=args.quarantine_path)
+        chunks = 0
+        for _ in stream(args.file, report=report,
+                        chunk_records=args.chunk_records):
+            chunks += 1
+        _print_ingest_report(report)
+        print(f"streamed {report.records} records in {chunks} columnar "
+              f"chunk(s) of <= {args.chunk_records}")
+        return 0
+
+    if args.action == "chaos":
+        return _ingest_chaos(args)
+    raise ConfigurationError(f"unknown ingest action {args.action!r}")
+
+
+def _ingest_chaos(args) -> int:
+    """Input-fault proof for the ingestion layer (docs/ingestion.md).
+
+    Asserts the strict policy's per-fault exit codes, the lenient/
+    quarantine contract (surviving records == clean minus exactly the
+    quarantined ones, proven down to decision-stream digests on both
+    engines), the error budget, and the registry's tamper refusal.
+    """
+    import gzip
+    import os
+    import shutil
+    import tempfile
+
+    from repro.errors import (
+        TraceBudgetError,
+        TraceChecksumError,
+        TraceFormatError,
+        TraceTruncatedError,
+    )
+    from repro.ingest import (
+        TraceRegistry,
+        ingest_k6,
+        read_quarantine,
+        write_k6,
+    )
+    from repro.resilience.chaos import (
+        InputFaultPlan,
+        corrupt_k6_text,
+        truncate_gzip,
+    )
+    from repro.runner.job import execute_job, trace_job
+    from repro.sim.trace import Trace
+    from repro.telemetry.export import (
+        events_digest,
+        read_events_jsonl,
+        write_events_jsonl,
+    )
+
+    checks: list[tuple[str, bool, str]] = []
+
+    def check(label: str, ok: bool, detail: str) -> None:
+        checks.append((label, ok, detail))
+
+    def expect_error(label: str, error_type, code: int, fn) -> None:
+        try:
+            fn()
+        except error_type as error:
+            got = exit_code_for(error)
+            check(label, got == code, f"{error_type.__name__}, exit {got}")
+        except ReproError as error:
+            check(label, False,
+                  f"wrong error {type(error).__name__}: {error}")
+        else:
+            check(label, False, "no error raised")
+
+    workdir = tempfile.mkdtemp(prefix="repro-ingest-chaos-")
+    try:
+        source = build_trace(args.workload, args.scale)
+        clean_path = os.path.join(workdir, "clean.k6")
+        write_k6(source, clean_path)
+        with open(clean_path, "rb") as fh:
+            clean_bytes = fh.read()
+        clean_trace, _ = ingest_k6(clean_path, name="chaos")
+
+        plan = InputFaultPlan(seed=args.seed, flip_rate=args.flip_rate,
+                              garbage_rate=args.garbage_rate)
+        corruption = corrupt_k6_text(clean_bytes, plan)
+        faulted_path = os.path.join(workdir, "faulted.k6")
+        with open(faulted_path, "wb") as fh:
+            fh.write(corruption.data)
+        print(f"chaos: {len(clean_trace)} clean records, seed {args.seed} "
+              f"-> {len(corruption.victims)} bit-flipped victims, "
+              f"{corruption.garbage_lines} garbage lines")
+
+        # -- strict policy: one distinct exit code per fault kind ------
+        expect_error("strict: bit-flipped record -> format error (14)",
+                     TraceFormatError, 14,
+                     lambda: ingest_k6(faulted_path, policy="strict"))
+        gz_path = os.path.join(workdir, "truncated.k6.gz")
+        with open(gz_path, "wb") as fh:
+            fh.write(truncate_gzip(gzip.compress(clean_bytes)))
+        expect_error("strict: truncated gzip -> truncated error (15)",
+                     TraceTruncatedError, 15,
+                     lambda: ingest_k6(gz_path, policy="strict"))
+        expect_error("lenient: garbage flood -> budget error (17)",
+                     TraceBudgetError, 17,
+                     lambda: ingest_k6(faulted_path, policy="lenient",
+                                       max_errors=0))
+
+        # -- lenient/quarantine contract -------------------------------
+        quarantine_path = faulted_path + ".quarantine"
+        faulted_trace, report = ingest_k6(
+            faulted_path, name="chaos", policy="quarantine",
+            quarantine_path=quarantine_path)
+        victims = set(corruption.victims)
+        expected = Trace([record for index, record in enumerate(clean_trace)
+                          if index not in victims], name="chaos")
+        check("quarantine: survivors == clean minus victims",
+              list(faulted_trace) == list(expected),
+              f"{report.records} survivors, {report.skipped} skipped")
+        check("quarantine: sidecar holds exactly the skipped records",
+              len(read_quarantine(quarantine_path)) == report.skipped
+              and report.skipped == corruption.injected_faults,
+              f"{report.skipped} rows in {os.path.basename(quarantine_path)}")
+
+        # -- decision streams bit-identical on both engines ------------
+        for engine in ("scalar", "batched"):
+            results = []
+            for trace in (expected, faulted_trace):
+                traced = execute_job(
+                    trace_job(trace, args.prefetcher, engine=engine))
+                path = os.path.join(workdir, f"{engine}-{id(trace)}.jsonl")
+                write_events_jsonl(path, traced.events)
+                results.append(events_digest(read_events_jsonl(path)))
+            check(f"decision streams identical ({engine} engine)",
+                  results[0] == results[1], f"digest {results[0][:16]}..")
+
+        # -- registry: tampered file refuses to run or replay ----------
+        registry = TraceRegistry(os.path.join(workdir, "traces.json"))
+        registry.register("clean", clean_path)
+        registry.verify("clean")
+        blob = bytearray(clean_bytes)
+        blob[len(blob) // 2] ^= 0x01
+        with open(clean_path, "wb") as fh:
+            fh.write(bytes(blob))
+        expect_error("registry: tampered file -> checksum refusal (16)",
+                     TraceChecksumError, 16,
+                     lambda: registry.load_trace("clean"))
+
+        rows = [[label, "OK" if ok else "FAILED", detail]
+                for label, ok, detail in checks]
+        print(format_table(["check", "verdict", "detail"], rows,
+                           title="Input-fault proof"))
+        failed = sum(1 for _, ok, _ in checks if not ok)
+        if failed:
+            print(f"ingest chaos proof FAILED: {failed} of {len(checks)} "
+                  f"checks")
+            return 1
+        print(f"ingest chaos proof OK: {len(checks)} checks passed")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def cmd_convert(args) -> int:
+    """Convert a trace between the k6 and binary interchange formats."""
+    from repro.ingest import convert_trace
+
+    journal = CheckpointJournal(args.journal) if args.journal else None
+    try:
+        report, written = convert_trace(
+            args.src, args.dst,
+            src_format=args.src_format,
+            dst_format=args.dst_format,
+            policy=args.policy,
+            max_errors=args.max_errors,
+            quarantine_path=args.quarantine_path,
+            chunk_records=args.chunk_records,
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    _print_ingest_report(report, written=written)
+    return 0
 
 
 def cmd_paper(args) -> int:
@@ -738,9 +989,21 @@ def _load_wire_spec(args) -> dict:
 
         spec_from_wire(wire)
         return wire
+    if args.trace_ref is not None:
+        # Resolution and checksum verification happen where the spec is
+        # rebuilt — on the server — so no records cross the wire and a
+        # tampered registered file is refused there with exit code 16.
+        return {
+            "kind": "levels",
+            "trace_ref": args.trace_ref,
+            "registry": args.registry,
+            "config_name": args.prefetcher,
+            "engine": args.engine,
+        }
     if args.workload is None:
         raise ConfigurationError(
-            "repro submit needs --spec FILE or --workload NAME")
+            "repro submit needs --spec FILE, --workload NAME or "
+            "--trace-ref NAME")
     trace = build_trace(args.workload, args.scale)
     return spec_to_wire(levels_job(trace, args.prefetcher,
                                    engine=args.engine))
@@ -970,6 +1233,80 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--hang-seconds", type=float, default=30.0)
     chaos.set_defaults(func=cmd_chaos)
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="hardened trace ingestion: register/verify checksummed "
+             "traces, stream-ingest k6/binary files under a fault "
+             "policy, run the input-fault proof (docs/ingestion.md)")
+    ingest.add_argument("action",
+                        choices=("register", "verify", "list", "run",
+                                 "chaos"),
+                        help="register/verify/list work on the registry; "
+                             "run streams one file; chaos runs the "
+                             "input-fault proof")
+    ingest.add_argument("--registry", default="traces.json", metavar="PATH",
+                        help="trace registry document (JSON)")
+    ingest.add_argument("--name", default=None,
+                        help="registry entry name (default: file basename; "
+                             "for verify: all entries)")
+    ingest.add_argument("--file", default=None, metavar="PATH",
+                        help="trace file for register/run")
+    ingest.add_argument("--format", choices=("k6", "binary"), default=None,
+                        help="trace format (default: detect by magic)")
+    ingest.add_argument("--policy",
+                        choices=("strict", "lenient", "quarantine"),
+                        default="strict",
+                        help="malformed-record policy for ingest run")
+    ingest.add_argument("--max-errors", type=int, default=1000, metavar="N",
+                        help="lenient/quarantine malformed-record budget")
+    ingest.add_argument("--quarantine-path", default=None, metavar="PATH",
+                        help="quarantine sidecar (default: "
+                             "<file>.quarantine)")
+    ingest.add_argument("--chunk-records", type=int, default=65536,
+                        metavar="N",
+                        help="records per streamed columnar chunk")
+    ingest.add_argument("--workload", default="bwaves_like",
+                        help="chaos: workload synthesized into the clean "
+                             "trace")
+    ingest.add_argument("--prefetcher", default="ipcp",
+                        help="chaos: prefetcher for the decision-stream "
+                             "comparison")
+    ingest.add_argument("--scale", type=float, default=0.05)
+    ingest.add_argument("--seed", type=int, default=1,
+                        help="chaos: input-fault schedule seed")
+    ingest.add_argument("--flip-rate", type=float, default=0.05,
+                        help="chaos: per-record command bit-flip chance")
+    ingest.add_argument("--garbage-rate", type=float, default=0.02,
+                        help="chaos: per-record garbage-line chance")
+    ingest.set_defaults(func=cmd_ingest)
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert a trace between k6 text and RIB1 binary "
+             "(streaming; resumable into binary via --journal)")
+    convert.add_argument("src", help="source trace file")
+    convert.add_argument("dst", help="destination trace file")
+    convert.add_argument("--src-format", choices=("k6", "binary"),
+                         default=None,
+                         help="source format (default: detect by magic)")
+    convert.add_argument("--dst-format", choices=("k6", "binary"),
+                         default=None,
+                         help="destination format (default: .k6/.k6.gz "
+                              "-> k6, else binary)")
+    convert.add_argument("--policy",
+                         choices=("strict", "lenient", "quarantine"),
+                         default="strict")
+    convert.add_argument("--max-errors", type=int, default=1000,
+                         metavar="N")
+    convert.add_argument("--quarantine-path", default=None, metavar="PATH")
+    convert.add_argument("--chunk-records", type=int, default=65536,
+                         metavar="N",
+                         help="records between resume checkpoints")
+    convert.add_argument("--journal", default=None, metavar="PATH",
+                         help="checkpoint journal enabling resume of an "
+                              "interrupted conversion into binary")
+    convert.set_defaults(func=cmd_convert)
+
     paper = sub.add_parser(
         "paper",
         help="evaluate the paper-claim registry; regenerate "
@@ -1059,6 +1396,13 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--workload", default=None,
                         help="build a levels job for this workload "
                              "instead of reading --spec")
+    submit.add_argument("--trace-ref", default=None, metavar="NAME",
+                        help="submit a levels job for a registered trace "
+                             "(resolved and checksum-verified server-side "
+                             "against --registry)")
+    submit.add_argument("--registry", default="traces.json", metavar="PATH",
+                        help="trace registry for --trace-ref (a path on "
+                             "the server's filesystem)")
     submit.add_argument("--prefetcher", default="ipcp")
     submit.add_argument("--scale", type=float, default=0.25)
     submit.add_argument("--engine", choices=ENGINES, default="scalar",

@@ -43,6 +43,52 @@ class TraceError(ReproError):
     exit_code = 4
 
 
+class TraceFormatError(TraceError):
+    """An ingested trace record does not parse under its declared format.
+
+    Raised by the streaming readers in :mod:`repro.ingest` under the
+    ``strict`` policy at the first malformed record (torn line, unknown
+    command, field overflow); under ``lenient``/``quarantine`` the
+    record is skipped and counted instead.
+    """
+
+    exit_code = 14
+
+
+class TraceTruncatedError(TraceError):
+    """An ingested trace stream ended before its declared end.
+
+    Covers a gzip member cut mid-stream, a binary trace whose byte size
+    is not a whole number of records, and a record count that stops
+    short of the header's promise.
+    """
+
+    exit_code = 15
+
+
+class TraceChecksumError(TraceError):
+    """A trace's content signature does not match its recorded one.
+
+    Raised when a binary trace's embedded footer checksum fails, or
+    when a registered trace file no longer hashes to the signature in
+    the trace registry — the registry refuses to run (or replay cached
+    results for) a file that silently changed underneath it.
+    """
+
+    exit_code = 16
+
+
+class TraceBudgetError(TraceError):
+    """Lenient ingestion exhausted its malformed-record budget.
+
+    ``lenient``/``quarantine`` ingestion skips and counts bad records,
+    but only up to ``max_errors``; a stream that is mostly garbage is a
+    wrong *file*, not a recoverable blemish, and fails loudly.
+    """
+
+    exit_code = 17
+
+
 class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
 

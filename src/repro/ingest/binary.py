@@ -1,0 +1,369 @@
+"""Fixed-width binary trace interchange format ("RIB1").
+
+A ChampSim-style packed-record format with just enough envelope to
+make every damage mode *detectable*:
+
+* **24-byte header** — magic ``RIB1``, format version, flags, and a
+  ``uint64`` record count.  The writer stamps the count with a
+  sentinel (:data:`COUNT_UNKNOWN`) while the stream is open and
+  patches the real value at finalize, so a crash mid-write leaves an
+  honestly-unfinished file rather than a silently short one.
+* **28-byte records** — ``<BQQQBBx``: kind, ip, addr, cycle, dep and a
+  fixed :data:`MARKER` byte.  The marker is the per-record canary: a
+  record whose bytes were reversed (wrong endianness), shifted, or
+  overwritten almost never lands the marker in the right place, so
+  damaged records parse as *faults*, not as plausible garbage.
+* **20-byte footer** — magic ``RIBF`` plus a 16-byte blake2b digest of
+  the raw record bytes.  Bit rot anywhere in the payload fails the
+  digest even when it happens to keep every marker intact.
+
+The reader distinguishes the three taxonomy faults precisely: a
+malformed record is ``format``, a stream that stops short of the
+header's count (or mid-record, or before the footer) is
+``truncated``, and a footer digest or footer-magic mismatch is
+``checksum`` — each mapping to its own exit code under the strict
+policy (:mod:`repro.errors`).
+
+Reading is streaming and bounded: one record blob at a time off a
+:class:`~repro.ingest.stream.ByteStream` block buffer.  Writing
+supports crash-resume: :meth:`BinaryTraceWriter.resume` re-opens an
+unfinalized file, truncates any torn trailing record, re-hashes what
+survives and appends from there.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TraceError
+from repro.ingest.k6 import DEFAULT_CHUNK_RECORDS, make_report
+from repro.ingest.policies import (
+    CHECKSUM,
+    DEFAULT_MAX_ERRORS,
+    FORMAT,
+    IngestReport,
+    STRICT,
+    TRUNCATED,
+)
+from repro.ingest.stream import ByteStream
+from repro.sim.trace import BRANCH, LOAD, OTHER, STORE, Trace, TraceColumns
+
+MAGIC = b"RIB1"
+FOOTER_MAGIC = b"RIBF"
+VERSION = 1
+
+#: Header count value while a writer is open (patched at finalize).
+COUNT_UNKNOWN = (1 << 64) - 1
+
+#: Per-record canary byte (see module docstring).
+MARKER = 0xC3
+
+_HEADER = struct.Struct("<4sBB2xQ8x")   # magic, version, flags, count
+_RECORD = struct.Struct("<BQQQBBx")      # kind, ip, addr, cycle, dep, marker
+_DIGEST_BYTES = 16
+FOOTER_SIZE = len(FOOTER_MAGIC) + _DIGEST_BYTES
+
+HEADER_SIZE = _HEADER.size
+RECORD_SIZE = _RECORD.size
+
+_VALID_KINDS = frozenset((OTHER, LOAD, STORE, BRANCH))
+
+
+def _record_hasher():
+    return hashlib.blake2b(digest_size=_DIGEST_BYTES)
+
+
+def _read_exact(stream: ByteStream, n: int) -> bytes:
+    """Read exactly ``n`` bytes (shorter only at end of stream)."""
+    parts = []
+    remaining = n
+    while remaining:
+        block = stream.read(remaining)
+        if not block:
+            break
+        parts.append(block)
+        remaining -= len(block)
+    return b"".join(parts)
+
+
+def iter_binary_wire(source, report: IngestReport, *,
+                     start_offset: int = 0,
+                     label: str | None = None) -> Iterator[tuple]:
+    """Yield ``(kind, ip, addr, dep, cycle)`` wire records from RIB1.
+
+    ``start_offset`` resumes at a record boundary previously
+    checkpointed by a reader over the same source; resumed runs skip
+    the footer digest check (the hash would need the skipped bytes)
+    but still verify the footer magic.
+    """
+    if start_offset and (start_offset < HEADER_SIZE or
+                         (start_offset - HEADER_SIZE) % RECORD_SIZE):
+        raise ConfigurationError(
+            f"binary resume offset {start_offset} is not a record boundary"
+        )
+    with ByteStream(source, report, label) as stream:
+        hasher = _record_hasher()
+        header = _read_exact(stream, HEADER_SIZE)
+        if len(header) < HEADER_SIZE:
+            report.fault(TRUNCATED, 0, stream.offset,
+                         f"header cut short ({len(header)} of "
+                         f"{HEADER_SIZE} bytes)", raw=header)
+            stream.settle(0)
+            return
+        magic, version, _flags, count = _HEADER.unpack(header)
+        if magic != MAGIC:
+            report.fault(FORMAT, 0, 0, f"bad magic {magic!r}", raw=header)
+            return
+        if version != VERSION:
+            report.fault(FORMAT, 0, 4,
+                         f"unsupported format version {version}", raw=header)
+            return
+        index = 0
+        if start_offset:
+            stream.skip_to(start_offset)
+            report.resumed_from = start_offset
+            index = (start_offset - HEADER_SIZE) // RECORD_SIZE
+        expected = None if count == COUNT_UNKNOWN else count
+        if expected is None:
+            # Unfinalized stream (writer crashed before finalize): the
+            # payload is still readable greedily, but the file as a
+            # whole is truncated by definition.
+            report.fault(TRUNCATED, 0, HEADER_SIZE,
+                         "unfinalized trace (sentinel record count)")
+        while expected is None or index < expected:
+            blob = _read_exact(stream, RECORD_SIZE)
+            if not blob:
+                if expected is not None:
+                    report.fault(TRUNCATED, index, stream.offset,
+                                 f"stream ended at record {index} of "
+                                 f"{expected}")
+                break
+            if len(blob) < RECORD_SIZE:
+                report.fault(TRUNCATED, index, stream.offset,
+                             f"torn record ({len(blob)} of {RECORD_SIZE} "
+                             f"bytes)", raw=blob)
+                break
+            hasher.update(blob)
+            kind, ip, addr, cycle, dep, marker = _RECORD.unpack(blob)
+            if marker != MARKER:
+                report.fault(FORMAT, index, stream.offset - RECORD_SIZE,
+                             f"record marker 0x{marker:02x} != "
+                             f"0x{MARKER:02x}", raw=blob)
+                index += 1
+                continue
+            if kind not in _VALID_KINDS:
+                report.fault(FORMAT, index, stream.offset - RECORD_SIZE,
+                             f"unknown record kind {kind}", raw=blob)
+                index += 1
+                continue
+            if dep not in (0, 1):
+                report.fault(FORMAT, index, stream.offset - RECORD_SIZE,
+                             f"dep flag {dep} not in {{0, 1}}", raw=blob)
+                index += 1
+                continue
+            if kind in (LOAD, STORE) and addr == 0:
+                report.fault(FORMAT, index, stream.offset - RECORD_SIZE,
+                             "memory record with address 0", raw=blob)
+                index += 1
+                continue
+            report.records += 1
+            report.bytes_consumed = stream.offset
+            yield kind, ip, addr, dep, cycle
+            index += 1
+        stream.settle(index)
+        report.bytes_consumed = stream.offset
+        if expected is None:
+            return
+        footer = _read_exact(stream, FOOTER_SIZE)
+        stream.settle(index)
+        if len(footer) < FOOTER_SIZE:
+            report.fault(TRUNCATED, index, stream.offset,
+                         f"footer cut short ({len(footer)} of "
+                         f"{FOOTER_SIZE} bytes)", raw=footer)
+            return
+        if footer[:4] != FOOTER_MAGIC:
+            report.fault(CHECKSUM, index, stream.offset - FOOTER_SIZE,
+                         f"bad footer magic {footer[:4]!r}", raw=footer)
+            return
+        if not report.resumed_from and footer[4:] != hasher.digest():
+            report.fault(CHECKSUM, index, stream.offset - FOOTER_SIZE,
+                         "record digest mismatch "
+                         f"(footer {footer[4:].hex()}, "
+                         f"computed {hasher.hexdigest()})")
+
+
+def stream_binary_columns(source, *, policy: str = STRICT,
+                          max_errors: int = DEFAULT_MAX_ERRORS,
+                          chunk_records: int = DEFAULT_CHUNK_RECORDS,
+                          quarantine_path: str | None = None,
+                          report: IngestReport | None = None,
+                          label: str | None = None,
+                          ) -> Iterator[TraceColumns]:
+    """Stream a RIB1 trace as bounded columnar chunks."""
+    if report is None:
+        report = make_report(source, "binary", policy, max_errors=max_errors,
+                             quarantine_path=quarantine_path, label=label)
+    kinds: list[int] = []
+    ips: list[int] = []
+    addrs: list[int] = []
+    deps: list[int] = []
+    try:
+        for kind, ip, addr, dep, _cycle in iter_binary_wire(source, report,
+                                                            label=label):
+            kinds.append(kind)
+            ips.append(ip)
+            addrs.append(addr)
+            deps.append(dep)
+            if len(kinds) >= chunk_records:
+                yield _chunk(kinds, ips, addrs, deps)
+                kinds, ips, addrs, deps = [], [], [], []
+        if kinds:
+            yield _chunk(kinds, ips, addrs, deps)
+    finally:
+        report.close()
+
+
+def _chunk(kinds, ips, addrs, deps) -> TraceColumns:
+    n = len(kinds)
+    return TraceColumns.from_arrays(
+        np.fromiter(kinds, dtype=np.uint8, count=n),
+        np.fromiter(ips, dtype=np.uint64, count=n),
+        np.fromiter(addrs, dtype=np.uint64, count=n),
+        np.fromiter(deps, dtype=np.uint8, count=n),
+    )
+
+
+def ingest_binary(source, *, name: str | None = None, policy: str = STRICT,
+                  max_errors: int = DEFAULT_MAX_ERRORS,
+                  quarantine_path: str | None = None,
+                  max_records: int | None = None,
+                  label: str | None = None) -> tuple[Trace, IngestReport]:
+    """Ingest a RIB1 trace into a :class:`Trace` (for simulation jobs)."""
+    report = make_report(source, "binary", policy, max_errors=max_errors,
+                         quarantine_path=quarantine_path, label=label)
+    records: list[tuple[int, int, int, int]] = []
+    try:
+        for kind, ip, addr, dep, _cycle in iter_binary_wire(source, report,
+                                                            label=label):
+            records.append((kind, ip, addr, dep))
+            if max_records is not None and len(records) >= max_records:
+                break
+    finally:
+        report.close()
+    trace_name = name or report.source
+    return Trace._from_records(records, trace_name), report
+
+
+class BinaryTraceWriter:
+    """Streaming RIB1 writer with crash-resume.
+
+    The header goes out immediately with the :data:`COUNT_UNKNOWN`
+    sentinel; :meth:`finalize` appends the checksum footer and patches
+    the real count.  A writer abandoned without ``finalize`` leaves a
+    file the reader classifies as *truncated* — never as a shorter
+    valid trace.
+    """
+
+    def __init__(self, path: str, *, flags: int = 0) -> None:
+        self.path = path
+        self.count = 0
+        self.finalized = False
+        self._hasher = _record_hasher()
+        self._fh = open(path, "wb")
+        self._fh.write(_HEADER.pack(MAGIC, VERSION, flags, COUNT_UNKNOWN))
+
+    @classmethod
+    def resume(cls, path: str) -> "BinaryTraceWriter":
+        """Re-open an unfinalized RIB1 file and continue appending.
+
+        Any torn trailing record (a partial write from the crash) is
+        truncated away; the surviving records are re-hashed so the
+        eventual footer digest covers the whole payload.
+        """
+        size = os.path.getsize(path)
+        if size < HEADER_SIZE:
+            raise TraceError(f"{path}: too short to be a RIB1 trace")
+        with open(path, "rb") as probe:
+            magic, version, flags, count = _HEADER.unpack(
+                probe.read(HEADER_SIZE))
+        if magic != MAGIC or version != VERSION:
+            raise TraceError(f"{path}: not a RIB1 v{VERSION} trace")
+        if count != COUNT_UNKNOWN:
+            raise TraceError(f"{path}: already finalized; refusing to "
+                             f"append to a checksummed trace")
+        payload = size - HEADER_SIZE
+        whole = payload - payload % RECORD_SIZE
+        writer = cls.__new__(cls)
+        writer.path = path
+        writer.count = whole // RECORD_SIZE
+        writer.finalized = False
+        writer._hasher = _record_hasher()
+        writer._fh = open(path, "r+b")
+        writer._fh.seek(HEADER_SIZE)
+        remaining = whole
+        while remaining:
+            block = writer._fh.read(min(remaining, 1 << 20))
+            writer._hasher.update(block)
+            remaining -= len(block)
+        writer._fh.truncate(HEADER_SIZE + whole)
+        writer._fh.seek(HEADER_SIZE + whole)
+        return writer
+
+    def append(self, record) -> None:
+        """Append one canonical 4-tuple or 5-tuple wire record."""
+        if self.finalized:
+            raise TraceError(f"{self.path}: writer already finalized")
+        if len(record) == 5:
+            kind, ip, addr, dep, cycle = record
+        else:
+            kind, ip, addr, dep = record
+            cycle = self.count
+        blob = _RECORD.pack(kind, ip, addr, cycle, dep, MARKER)
+        self._hasher.update(blob)
+        self._fh.write(blob)
+        self.count += 1
+
+    @property
+    def offset(self) -> int:
+        """Byte offset after the last appended record (checkpointable)."""
+        return HEADER_SIZE + self.count * RECORD_SIZE
+
+    def finalize(self) -> None:
+        """Write the checksum footer and patch the header count."""
+        if self.finalized:
+            return
+        self._fh.write(FOOTER_MAGIC + self._hasher.digest())
+        self._fh.seek(0)
+        self._fh.write(_HEADER.pack(MAGIC, VERSION, 0, self.count))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self.finalized = True
+
+    def close(self) -> None:
+        """Close without finalizing (the file stays resumable)."""
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "BinaryTraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.finalize()
+        else:
+            self.close()
+
+
+def write_binary(records, path: str) -> int:
+    """Write records as a finalized RIB1 file; returns records written."""
+    with BinaryTraceWriter(path) as writer:
+        for record in records:
+            writer.append(record)
+    return writer.count

@@ -1,0 +1,251 @@
+"""Streaming reader/writer for the DRAMSim2 k6/mase text trace format.
+
+One record per line — ``<address> <command> <cycle>`` — where the
+address is hex, the command is ``P_MEM_RD`` / ``P_MEM_WR`` and the
+cycle is a decimal issue time::
+
+    0x10000 P_MEM_RD 10
+    0x10040 P_MEM_RD 20
+    0x10080 P_MEM_WR 30
+
+Files are optionally gzip-compressed (detected by magic, not by
+suffix).  Blank lines and ``#`` comment lines are ignored; everything
+else must parse or it is routed through the active ingestion policy
+(:mod:`repro.ingest.policies`).
+
+k6 records carry no instruction pointer, so the reader synthesizes a
+deterministic one — :data:`K6_READ_IP` for every read, :data:`
+K6_WRITE_IP` for every write.  The simulator then sees the trace as
+two instruction streams, which is the honest translation of a
+DRAM-level trace into an IP-classified world: there is exactly as
+much IP information as the source format recorded (none), and the
+mapping is stable, so content-addressed cache keys are too.
+
+Readers never materialize the whole trace: :func:`iter_k6_wire` is a
+generator over one bounded block at a time, and
+:func:`stream_k6_columns` batches it into the columnar
+:class:`~repro.sim.trace.TraceColumns` chunks the batched engine
+consumes.  :func:`ingest_k6` materializes a :class:`~repro.sim.trace.
+Trace` only when a simulation job actually needs one.
+"""
+
+from __future__ import annotations
+
+import gzip
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.ingest.policies import (
+    DEFAULT_MAX_ERRORS,
+    FORMAT,
+    IngestReport,
+    QUARANTINE,
+    STRICT,
+    validate_policy,
+)
+from repro.ingest.stream import ByteStream, LineStream, MAX_LINE_BYTES
+from repro.sim.trace import LOAD, STORE, Trace, TraceColumns
+
+#: Synthetic instruction pointers for the IP-less k6 format.
+K6_READ_IP = 0x0040_0000
+K6_WRITE_IP = 0x0040_0040
+
+#: Cycle stride used when serializing canonical records to k6.
+K6_CYCLE_STEP = 10
+
+_COMMANDS = {b"P_MEM_RD": LOAD, b"P_MEM_WR": STORE}
+_COMMAND_FOR = {LOAD: "P_MEM_RD", STORE: "P_MEM_WR"}
+_SYNTH_IP = {LOAD: K6_READ_IP, STORE: K6_WRITE_IP}
+
+_UINT64_MAX = (1 << 64) - 1
+
+#: Default records per columnar chunk (~1.5 MB of column data).
+DEFAULT_CHUNK_RECORDS = 65_536
+
+
+def iter_k6_wire(source, report: IngestReport, *,
+                 start_offset: int = 0,
+                 label: str | None = None) -> Iterator[tuple]:
+    """Yield ``(kind, ip, addr, dep, cycle)`` wire records from k6 text.
+
+    Malformed lines are routed through ``report`` (raise under
+    ``strict``, skip-and-count otherwise).  ``start_offset`` skips to a
+    decompressed byte offset first (resume support) — it must be a
+    line boundary previously checkpointed by a reader over the same
+    source.
+    """
+    index = 0
+    with ByteStream(source, report, label) as stream:
+        if start_offset:
+            stream.skip_to(start_offset)
+            report.resumed_from = start_offset
+        for offset, line in LineStream(stream):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(b"#"):
+                continue
+            if len(line) > MAX_LINE_BYTES:
+                report.fault(FORMAT, index, offset,
+                             f"line exceeds {MAX_LINE_BYTES} bytes",
+                             raw=line[:64])
+                index += 1
+                continue
+            fields = stripped.split()
+            if len(fields) != 3:
+                report.fault(FORMAT, index, offset,
+                             f"expected 3 fields, got {len(fields)}",
+                             raw=line)
+                index += 1
+                continue
+            addr_tok, command, cycle_tok = fields
+            kind = _COMMANDS.get(command)
+            if kind is None:
+                report.fault(FORMAT, index, offset,
+                             f"unknown command {command!r:.32}", raw=line)
+                index += 1
+                continue
+            try:
+                addr = int(addr_tok, 16)
+                cycle = int(cycle_tok, 10)
+            except ValueError:
+                report.fault(FORMAT, index, offset,
+                             "unparseable address/cycle field", raw=line)
+                index += 1
+                continue
+            if addr > _UINT64_MAX or cycle > _UINT64_MAX:
+                report.fault(FORMAT, index, offset,
+                             "field does not fit uint64", raw=line)
+                index += 1
+                continue
+            if addr == 0 or cycle < 0:
+                report.fault(FORMAT, index, offset,
+                             "zero address / negative cycle", raw=line)
+                index += 1
+                continue
+            report.records += 1
+            # Exact resume boundary: the byte after this record's line
+            # (stream.offset is block-granular and overshoots).
+            report.bytes_consumed = offset + len(line) + 1
+            yield kind, _SYNTH_IP[kind], addr, 0, cycle
+            index += 1
+        stream.settle(index)
+        report.bytes_consumed = stream.offset
+
+
+def make_report(source, fmt: str, policy: str, *,
+                max_errors: int = DEFAULT_MAX_ERRORS,
+                quarantine_path: str | None = None,
+                label: str | None = None) -> IngestReport:
+    """Build the :class:`IngestReport` for one ingestion run."""
+    validate_policy(policy)
+    name = label or (source if isinstance(source, str) else "<stream>")
+    report = IngestReport(source=name, format=fmt, policy=policy,
+                          max_errors=max_errors)
+    if policy == QUARANTINE:
+        path = quarantine_path or (
+            f"{source}.quarantine" if isinstance(source, str)
+            else f"{name}.quarantine")
+        report.attach_quarantine(path)
+    return report
+
+
+def stream_k6_columns(source, *, policy: str = STRICT,
+                      max_errors: int = DEFAULT_MAX_ERRORS,
+                      chunk_records: int = DEFAULT_CHUNK_RECORDS,
+                      quarantine_path: str | None = None,
+                      report: IngestReport | None = None,
+                      label: str | None = None,
+                      ) -> Iterator[TraceColumns]:
+    """Stream a k6 trace as bounded columnar chunks.
+
+    Each yielded :class:`TraceColumns` holds at most ``chunk_records``
+    records with the geometry columns the batched engine consumes;
+    peak memory is one chunk plus one I/O block, independent of trace
+    length.
+    """
+    if report is None:
+        report = make_report(source, "k6", policy, max_errors=max_errors,
+                             quarantine_path=quarantine_path, label=label)
+    kinds: list[int] = []
+    ips: list[int] = []
+    addrs: list[int] = []
+    deps: list[int] = []
+    try:
+        for kind, ip, addr, dep, _cycle in iter_k6_wire(source, report,
+                                                        label=label):
+            kinds.append(kind)
+            ips.append(ip)
+            addrs.append(addr)
+            deps.append(dep)
+            if len(kinds) >= chunk_records:
+                yield _chunk(kinds, ips, addrs, deps)
+                kinds, ips, addrs, deps = [], [], [], []
+        if kinds:
+            yield _chunk(kinds, ips, addrs, deps)
+    finally:
+        report.close()
+
+
+def _chunk(kinds, ips, addrs, deps) -> TraceColumns:
+    n = len(kinds)
+    return TraceColumns.from_arrays(
+        np.fromiter(kinds, dtype=np.uint8, count=n),
+        np.fromiter(ips, dtype=np.uint64, count=n),
+        np.fromiter(addrs, dtype=np.uint64, count=n),
+        np.fromiter(deps, dtype=np.uint8, count=n),
+    )
+
+
+def ingest_k6(source, *, name: str | None = None, policy: str = STRICT,
+              max_errors: int = DEFAULT_MAX_ERRORS,
+              quarantine_path: str | None = None,
+              max_records: int | None = None,
+              label: str | None = None) -> tuple[Trace, IngestReport]:
+    """Ingest a k6 trace into a :class:`Trace` (for simulation jobs).
+
+    This is the materializing convenience over :func:`iter_k6_wire`;
+    callers that only need statistics or columnar chunks should stream
+    instead.  ``max_records`` bounds how much is materialized.
+    """
+    report = make_report(source, "k6", policy, max_errors=max_errors,
+                         quarantine_path=quarantine_path, label=label)
+    records: list[tuple[int, int, int, int]] = []
+    try:
+        for kind, ip, addr, dep, _cycle in iter_k6_wire(source, report,
+                                                        label=label):
+            records.append((kind, ip, addr, dep))
+            if max_records is not None and len(records) >= max_records:
+                break
+    finally:
+        report.close()
+    trace_name = name or report.source
+    return Trace._from_records(records, trace_name), report
+
+
+def write_k6(records, path: str, *, compress: bool | None = None) -> int:
+    """Write records as canonical k6 text; returns records written.
+
+    ``records`` yields either canonical 4-tuples ``(kind, ip, addr,
+    dep)`` — cycles are synthesized as ``index * K6_CYCLE_STEP`` — or
+    5-tuple wire records carrying an explicit cycle.  Non-memory
+    records (OTHER/BRANCH) are not representable in k6 and are
+    dropped.  ``compress`` gzips the output (default: path ends in
+    ``.gz``).
+    """
+    if compress is None:
+        compress = path.endswith(".gz")
+    opener = gzip.open if compress else open
+    written = 0
+    with opener(path, "wt", encoding="ascii") as fh:
+        for record in records:
+            if len(record) == 5:
+                kind, _ip, addr, _dep, cycle = record
+            else:
+                kind, _ip, addr, _dep = record
+                cycle = written * K6_CYCLE_STEP
+            command = _COMMAND_FOR.get(kind)
+            if command is None:
+                continue
+            fh.write(f"0x{addr:x} {command} {cycle}\n")
+            written += 1
+    return written

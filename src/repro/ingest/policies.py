@@ -1,0 +1,231 @@
+"""Ingestion policies, fault accounting and quarantine sidecars.
+
+Every streaming reader in :mod:`repro.ingest` funnels its malformed
+input through one :class:`IngestReport`, parameterized by policy:
+
+* ``strict`` — the first malformed record raises a typed error from
+  the taxonomy in :mod:`repro.errors` (:class:`~repro.errors.
+  TraceFormatError` for torn/unparseable records, :class:`~repro.
+  errors.TraceTruncatedError` for streams cut short), each with its
+  own CLI exit code;
+* ``lenient`` — malformed records are skipped and counted, up to a
+  bounded ``max_errors`` budget (:class:`~repro.errors.
+  TraceBudgetError` beyond it — a stream that is mostly garbage is the
+  wrong file, not a blemish);
+* ``quarantine`` — lenient, plus every skipped raw record is appended
+  to a ``.quarantine`` JSONL sidecar (offset, index, reason, raw bytes
+  hex) so the malformed input can be inspected after the run.
+
+The report is the single source of truth for the lenient-mode
+contract the chaos harness proves: ``report.skipped_indices`` names
+*exactly* the records that were dropped, so a clean trace minus those
+indices must be bit-identical to the faulted trace's surviving
+records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ConfigurationError,
+    TraceBudgetError,
+    TraceChecksumError,
+    TraceFormatError,
+    TraceTruncatedError,
+)
+
+STRICT = "strict"
+LENIENT = "lenient"
+QUARANTINE = "quarantine"
+
+POLICIES = (STRICT, LENIENT, QUARANTINE)
+
+#: Fault kinds recorded by the readers (``IngestReport.fault_counts``).
+FORMAT = "format"
+TRUNCATED = "truncated"
+CHECKSUM = "checksum"
+
+#: Default malformed-record budget for lenient/quarantine ingestion.
+DEFAULT_MAX_ERRORS = 1_000
+
+#: Quarantined raw records larger than this are clipped in the sidecar.
+_RAW_CLIP = 512
+
+
+def validate_policy(policy: str) -> str:
+    """Return ``policy`` or raise :class:`ConfigurationError`."""
+    if policy not in POLICIES:
+        raise ConfigurationError(
+            f"unknown ingestion policy {policy!r}; expected one of {POLICIES}"
+        )
+    return policy
+
+
+@dataclass
+class IngestFault:
+    """One skipped (or fatal) malformed record."""
+
+    kind: str        # FORMAT / TRUNCATED / CHECKSUM
+    index: int       # record index in the input stream (0-based)
+    offset: int      # byte offset of the record in the (decompressed) stream
+    reason: str
+    raw: bytes = b""
+
+    def to_dict(self) -> dict:
+        """JSONL row written to the quarantine sidecar."""
+        return {
+            "kind": self.kind,
+            "index": self.index,
+            "offset": self.offset,
+            "reason": self.reason,
+            "raw_hex": self.raw[:_RAW_CLIP].hex(),
+            "raw_clipped": len(self.raw) > _RAW_CLIP,
+        }
+
+
+class QuarantineWriter:
+    """Append-only JSONL sidecar of quarantined raw records."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.written = 0
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._fh = open(path, "w", encoding="utf-8")
+
+    def write(self, fault: IngestFault) -> None:
+        """Append one quarantined fault as a compact JSON line."""
+        self._fh.write(json.dumps(fault.to_dict(), sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        """Flush and close the sidecar file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "QuarantineWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_quarantine(path: str) -> list[dict]:
+    """Read a quarantine sidecar back as a list of fault rows."""
+    rows = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+@dataclass
+class IngestReport:
+    """Accounting for one ingestion run (mutated by the reader).
+
+    ``records`` counts canonical records emitted downstream;
+    ``skipped_indices`` names the input-stream indices of every record
+    the policy dropped — the exact set the chaos contract subtracts
+    from the clean trace.  ``faults`` keeps the first
+    :data:`MAX_KEPT_FAULTS` full fault descriptions (the sidecar keeps
+    them all under ``quarantine``).
+    """
+
+    MAX_KEPT_FAULTS = 64
+
+    source: str
+    format: str
+    policy: str
+    max_errors: int = DEFAULT_MAX_ERRORS
+    records: int = 0
+    bytes_consumed: int = 0
+    skipped_indices: list[int] = field(default_factory=list)
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    faults: list[IngestFault] = field(default_factory=list)
+    quarantine_path: str | None = None
+    resumed_from: int = 0
+    _writer: QuarantineWriter | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        validate_policy(self.policy)
+        if self.max_errors < 0:
+            raise ConfigurationError(
+                f"max_errors must be >= 0, got {self.max_errors}"
+            )
+
+    @property
+    def skipped(self) -> int:
+        """Total records dropped by the lenient/quarantine policy."""
+        return sum(self.fault_counts.values())
+
+    def attach_quarantine(self, path: str) -> None:
+        """Open the ``.quarantine`` sidecar (quarantine policy only)."""
+        self.quarantine_path = path
+        self._writer = QuarantineWriter(path)
+
+    def close(self) -> None:
+        """Flush and close the quarantine sidecar, if open."""
+        if self._writer is not None:
+            self._writer.close()
+
+    def fault(self, kind: str, index: int, offset: int, reason: str,
+              raw: bytes = b"") -> None:
+        """Record one malformed record under the active policy.
+
+        Under ``strict`` this raises the matching taxonomy error
+        immediately; under ``lenient``/``quarantine`` it counts (and
+        optionally sidecars) the fault, raising
+        :class:`TraceBudgetError` once the budget is spent.
+        """
+        fault = IngestFault(kind=kind, index=index, offset=offset,
+                            reason=reason, raw=raw)
+        if self.policy == STRICT:
+            raise self._error(fault)
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+        self.skipped_indices.append(index)
+        if len(self.faults) < self.MAX_KEPT_FAULTS:
+            self.faults.append(fault)
+        if self._writer is not None:
+            self._writer.write(fault)
+        if self.skipped > self.max_errors:
+            self.close()
+            raise TraceBudgetError(
+                f"{self.source}: {self.skipped} malformed records exceed "
+                f"the lenient budget of {self.max_errors} "
+                f"(last: {reason})"
+            )
+
+    def _error(self, fault: IngestFault):
+        message = (f"{self.source}: record {fault.index} "
+                   f"(byte {fault.offset}): {fault.reason}")
+        if fault.kind == TRUNCATED:
+            return TraceTruncatedError(message)
+        if fault.kind == CHECKSUM:
+            return TraceChecksumError(message)
+        return TraceFormatError(message)
+
+    def summary_rows(self) -> list[list]:
+        """``[property, value]`` rows for the CLI summary table."""
+        rows = [
+            ["source", self.source],
+            ["format", self.format],
+            ["policy", self.policy],
+            ["records ingested", self.records],
+            ["bytes consumed", self.bytes_consumed],
+            ["records skipped", self.skipped],
+        ]
+        for kind in sorted(self.fault_counts):
+            rows.append([f"  skipped ({kind})", self.fault_counts[kind]])
+        if self.quarantine_path:
+            rows.append(["quarantine sidecar", self.quarantine_path])
+        if self.resumed_from:
+            rows.append(["resumed from byte", self.resumed_from])
+        return rows

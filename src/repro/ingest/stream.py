@@ -1,0 +1,170 @@
+"""Bounded-memory byte/line streaming shared by the ingest readers.
+
+:class:`ByteStream` wraps a trace file (plain or gzip-compressed —
+detected by magic, not extension) behind a single ``read(n)`` surface
+that:
+
+* tracks the **decompressed** byte offset, which is what resume
+  checkpoints record (a gzip member cannot be seeked, but it can be
+  re-skipped deterministically);
+* converts mid-stream decompression failures into ingest faults
+  instead of tracebacks — a gzip member cut short is a *truncated*
+  trace, a failed gzip CRC is a *checksum* fault, both routed through
+  the active :class:`~repro.ingest.policies.IngestReport` policy;
+* never holds more than one block (plus one partial line) in memory,
+  so peak RSS is independent of trace length.
+
+:class:`LineStream` layers newline splitting on top for the text
+formats, with an over-long-line guard so a fuzzer feeding a gigabyte
+of newline-free garbage cannot balloon the buffer.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+import zlib
+
+from repro.ingest.policies import CHECKSUM, IngestReport, TRUNCATED
+
+GZIP_MAGIC = b"\x1f\x8b"
+
+#: Decompressed bytes pulled per read (the memory-bound unit).
+BLOCK_BYTES = 1 << 20
+
+#: A single line longer than this is a malformed record, not a buffer.
+MAX_LINE_BYTES = 1 << 24
+
+
+def open_source(source, label: str | None = None):
+    """Open a trace source as a binary file object.
+
+    ``source`` may be a filesystem path, raw ``bytes`` or a binary
+    file object (taken as-is).  Returns ``(fh, label, owns)`` where
+    ``owns`` says whether the caller should close ``fh``.
+    """
+    if isinstance(source, (bytes, bytearray)):
+        return io.BytesIO(bytes(source)), label or "<bytes>", True
+    if isinstance(source, (str, os.PathLike)):
+        path = os.fspath(source)
+        return open(path, "rb"), label or path, True
+    return source, label or getattr(source, "name", "<stream>"), False
+
+
+class ByteStream:
+    """Decompressing, offset-tracking reader over one trace source.
+
+    ``report`` absorbs stream-level failures (truncation, bad CRC)
+    under the active policy; after such a failure :attr:`exhausted`
+    is set and further reads return ``b""``.
+    """
+
+    def __init__(self, source, report: IngestReport,
+                 label: str | None = None) -> None:
+        self._fh, self.label, self._owns = open_source(source, label)
+        self.report = report
+        self.offset = 0
+        self.exhausted = False
+        head = self._fh.read(2)
+        self.is_gzip = head == GZIP_MAGIC
+        self._fh.seek(-len(head), os.SEEK_CUR)
+        self._reader = (gzip.GzipFile(fileobj=self._fh)
+                        if self.is_gzip else self._fh)
+
+    def skip_to(self, offset: int) -> None:
+        """Position the stream at a decompressed byte offset (resume)."""
+        if offset <= self.offset:
+            return
+        if not self.is_gzip:
+            self._reader.seek(offset)
+            self.offset = offset
+            return
+        while self.offset < offset and not self.exhausted:
+            self.read(min(BLOCK_BYTES, offset - self.offset))
+
+    def read(self, n: int = BLOCK_BYTES) -> bytes:
+        """Read up to ``n`` decompressed bytes (b"" at end/failure)."""
+        if self.exhausted:
+            return b""
+        try:
+            block = self._reader.read(n)
+        except EOFError as error:
+            self._stream_fault(TRUNCATED, f"compressed stream cut short: "
+                                          f"{error}")
+            return b""
+        except (zlib.error, gzip.BadGzipFile, OSError) as error:
+            kind = CHECKSUM if "crc" in str(error).lower() else TRUNCATED
+            self._stream_fault(kind, f"compressed stream damaged: {error}")
+            return b""
+        if not block:
+            self.exhausted = True
+            return b""
+        self.offset += len(block)
+        return block
+
+    def _stream_fault(self, kind: str, reason: str) -> None:
+        self.exhausted = True
+        # Stream faults use the current record index supplied lazily by
+        # the caller via `pending_fault`; readers consult it after
+        # their record loop drains.
+        self.pending_fault = (kind, reason)
+
+    pending_fault: tuple[str, str] | None = None
+
+    def settle(self, index: int) -> None:
+        """Report any pending stream fault at record ``index``."""
+        if self.pending_fault is not None:
+            kind, reason = self.pending_fault
+            self.pending_fault = None
+            self.report.fault(kind, index, self.offset, reason)
+
+    def close(self) -> None:
+        """Close the underlying reader (and file, if this stream opened it)."""
+        if self.is_gzip:
+            try:
+                self._reader.close()
+            except (OSError, EOFError, zlib.error):
+                pass
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "ByteStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LineStream:
+    """Newline-split iteration over a :class:`ByteStream` with offsets.
+
+    Yields ``(offset, line)`` pairs where ``offset`` is the
+    decompressed byte position of the line start.  A line exceeding
+    :data:`MAX_LINE_BYTES` is surfaced as one oversized line (the
+    reader faults it) rather than buffered indefinitely.
+    """
+
+    def __init__(self, stream: ByteStream) -> None:
+        self.stream = stream
+
+    def __iter__(self):
+        offset = self.stream.offset
+        buffer = b""
+        while True:
+            block = self.stream.read()
+            if not block:
+                break
+            buffer += block
+            if b"\n" in buffer:
+                lines = buffer.split(b"\n")
+                buffer = lines.pop()
+                for line in lines:
+                    yield offset, line
+                    offset += len(line) + 1
+            elif len(buffer) > MAX_LINE_BYTES:
+                yield offset, buffer
+                offset += len(buffer)
+                buffer = b""
+        if buffer:
+            yield offset, buffer

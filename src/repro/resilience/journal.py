@@ -16,7 +16,12 @@ degraded mode ``failed`` keys surface immediately as
 fresh attempt budget on a known-fatal cell.
 
 A half-written trailing line (the writer was SIGKILLed mid-append) is
-skipped on load rather than treated as corruption.
+skipped on load rather than treated as corruption, and so are runs of
+NUL bytes: journalling filesystems that replay a metadata-only commit
+after power loss can leave a pre-allocated tail of ``\\x00`` where the
+flushed data never hit the platter.  Both cases are counted in
+:attr:`CheckpointJournal.skipped_lines` so a resume can report how
+much of the journal was unreadable.
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ class CheckpointJournal:
     def __init__(self, path: str) -> None:
         self.path = path
         self.entries: dict[str, dict] = {}
+        self.skipped_lines = 0
         directory = os.path.dirname(path)
         if directory:
             try:
@@ -77,9 +83,14 @@ class CheckpointJournal:
             raise CheckpointError(
                 f"cannot read checkpoint journal {self.path!r}: {error}"
             ) from error
-        for line in lines:
-            line = line.strip()
+        for raw in lines:
+            # NUL runs come from crash-replayed filesystem pre-allocation
+            # (see module docstring); strip them from both edges so an
+            # entry that survived next to a padded tail still loads.
+            line = raw.strip().strip("\x00").strip()
             if not line:
+                if raw.strip():  # pure NUL padding, not a blank line
+                    self.skipped_lines += 1
                 continue
             try:
                 entry = json.loads(line)
@@ -88,6 +99,7 @@ class CheckpointJournal:
             except (ValueError, TypeError, KeyError):
                 # A writer killed mid-append leaves a torn final line;
                 # everything before it is still a valid checkpoint.
+                self.skipped_lines += 1
                 continue
             if status in (DONE, FAILED):
                 self.entries[key] = entry
@@ -97,9 +109,17 @@ class CheckpointJournal:
         self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
         self._fh.flush()
 
-    def record_done(self, key: str) -> None:
-        """Mark a key as resolved and published to the cache."""
-        self._write({"key": key, "status": DONE})
+    def record_done(self, key: str, **extra) -> None:
+        """Mark a key as resolved and published to the cache.
+
+        ``extra`` fields ride along in the journal entry — the ingest
+        converter checkpoints per-chunk byte offsets this way so a
+        resumed conversion can seek instead of re-reading.
+        """
+        entry = dict(extra)
+        entry["key"] = key
+        entry["status"] = DONE
+        self._write(entry)
 
     def record_failed(self, key: str, failure: JobFailure) -> None:
         """Mark a key as terminally failed (with its taxonomy)."""

@@ -63,6 +63,10 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        # Corrupt entries actually removed from disk.  Can lag
+        # `corrupt` when a concurrent writer republished the entry
+        # between our read and the eviction (then nothing is removed).
+        self.corrupt_evictions = 0
 
     def _entry_path(self, key: str) -> str:
         return os.path.join(self.path, key[:2], f"{key}.pkl")
@@ -117,6 +121,7 @@ class ResultCache:
                             read_stat.st_mtime_ns)):
                     return
             os.remove(entry)
+            self.corrupt_evictions += 1
         except OSError:
             pass
 

@@ -107,6 +107,16 @@ class SimulationRunner:
         self.pool_respawns = 0
         self.failures = 0
 
+    @property
+    def corrupt_evictions(self) -> int:
+        """Corrupt cache entries this runner's cache evicted from disk.
+
+        Lives on the cache (eviction happens inside ``cache.get``) but
+        is surfaced here so run summaries and the service ``/metrics``
+        aggregation read every observability counter off the runner.
+        """
+        return self.cache.corrupt_evictions if self.cache is not None else 0
+
     def run(self, specs: list[JobSpec], degraded: bool | None = None) -> list:
         """Resolve every spec; returns payloads in submission order.
 

@@ -354,6 +354,16 @@ class JobService:
                 name: sum(getattr(runner, name) for runner in runners)
                 for name in _RUNNER_COUNTERS
             }
+            # corrupt_evictions lives on the cache objects — the
+            # service's own read-through copy plus each runner's —
+            # which may or may not be the same instance; dedupe by
+            # object so a shared cache is counted once, not per holder.
+            caches = {id(runner.cache): runner.cache
+                      for runner in runners if runner.cache is not None}
+            if self.cache is not None:
+                caches[id(self.cache)] = self.cache
+            runner_counters["corrupt_evictions"] = sum(
+                cache.corrupt_evictions for cache in caches.values())
             return self.metrics.snapshot(
                 queued=len(self._queue),
                 running=running,
@@ -499,30 +509,40 @@ class JobService:
 
     def _resume_from_journal(self) -> None:
         """Re-enqueue pending journaled jobs; rehydrate done ones."""
+        requeue: list[tuple[str, dict, list[str]]] = []
         for key, entry in self._journal.entries.items():
             if entry["terminal"] != "done" or entry["spec"] is None:
                 continue
-            if self.cache is None:
-                continue
-            self.metrics.cache_lookups += 1
-            hit, payload = self.cache.get(key)
-            if not hit:
-                continue
-            self.metrics.cache_hits += 1
             try:
                 spec = spec_from_wire(entry["spec"])
             except ReproError:
                 continue
+            hit, payload = False, None
+            if self.cache is not None:
+                self.metrics.cache_lookups += 1
+                hit, payload = self.cache.get(key)
+            if not hit:
+                # The journal says done but the payload is gone — the
+                # entry was evicted as corrupt, or the cache directory
+                # didn't survive the restart.  The result can no longer
+                # be delivered, so the job must run again; dropping it
+                # here would strand every waiter on an unknown key.
+                requeue.append((key, entry["spec"],
+                                list(entry["tenants"]) or ["default"]))
+                self.metrics.requeued_lost += 1
+                continue
+            self.metrics.cache_hits += 1
             self._terminal_record(key, spec, DONE,
                                   result=result_to_wire(payload),
                                   submitted_at=time.monotonic())
-        for key, wire, tenants in self._journal.pending():
+        requeued_keys = {key for key, _, _ in requeue}
+        for key, wire, tenants in requeue + self._journal.pending():
             try:
                 spec = spec_from_wire(wire)
             except ReproError:
                 continue  # journal written by an incompatible version
             now = time.monotonic()
-            if self.cache is not None:
+            if self.cache is not None and key not in requeued_keys:
                 # Crash window: the payload was published to the cache
                 # but the ``done`` line never made it to the journal.
                 self.metrics.cache_lookups += 1
@@ -541,4 +561,5 @@ class JobService:
                     self._quota.charge(tenant, force=True)
             self._records[key] = record
             self._queue.push(key, force=True)
-            self.metrics.resumed += 1
+            if key not in requeued_keys:
+                self.metrics.resumed += 1

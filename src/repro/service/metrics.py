@@ -42,6 +42,9 @@ class ServiceMetrics:
         "failed",
         "cancelled",
         "resumed",            # jobs re-enqueued from the journal on start
+        "requeued_lost",      # journaled-done jobs re-run because their
+                              # cached payload was gone (e.g. evicted as
+                              # corrupt) when the service restarted
         "streamed",           # results delivered over streaming responses
     )
 

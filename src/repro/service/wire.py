@@ -103,12 +103,37 @@ def spec_from_wire(data: object) -> JobSpec:
     records (a submitted signature is ignored), so the resulting cache
     key is trustworthy: a client cannot alias one job's records onto
     another job's cache slot.
+
+    Instead of inline ``records``, non-mix jobs may carry a
+    ``trace_ref``/``registry`` pair naming a trace in a checksummed
+    :class:`~repro.ingest.registry.TraceRegistry` on the server's
+    filesystem.  The referenced file is re-verified against its
+    registered signature at spec-build time — a tampered trace raises
+    :class:`~repro.errors.TraceChecksumError` (never swallowed into a
+    generic bad-spec error) and therefore can neither run nor replay a
+    clean trace's cached results.
     """
     _require(isinstance(data, dict), "expected a JSON object")
     kind = data.get("kind", KIND_LEVELS)
     _require(kind in WIRE_KINDS,
              f"unknown kind {kind!r}; expected one of {WIRE_KINDS}")
-    trace_name = data.get("trace_name")
+    trace_ref = data.get("trace_ref")
+    registered_trace = None
+    if trace_ref is not None:
+        _require(isinstance(trace_ref, str) and trace_ref,
+                 "trace_ref must be a non-empty string")
+        _require(kind != KIND_MIX, "trace_ref is not supported for mix jobs")
+        _require(data.get("records") is None,
+                 "trace_ref and records are mutually exclusive")
+        registry = data.get("registry")
+        _require(isinstance(registry, str) and registry,
+                 "trace_ref requires a registry path")
+        from repro.ingest.registry import load_registered_trace
+
+        # Outside the catch-all below: a checksum refusal must surface
+        # as TraceChecksumError (exit code 16), not as a bad spec.
+        registered_trace, _ = load_registered_trace(registry, trace_ref)
+    trace_name = data.get("trace_name", trace_ref)
     _require(isinstance(trace_name, str) and trace_name,
              "trace_name must be a non-empty string")
     config_name = data.get("config_name", "none")
@@ -145,8 +170,11 @@ def spec_from_wire(data: object) -> JobSpec:
                 seed=seed if seed is not None else 1,
                 engine=engine,
             )
-        trace = Trace(_as_records(data.get("records"), "records"),
-                      name=trace_name)
+        if registered_trace is not None:
+            trace = registered_trace
+        else:
+            trace = Trace(_as_records(data.get("records"), "records"),
+                          name=trace_name)
         if kind == KIND_ALONE_IPC:
             _require(params is not None, "alone-ipc jobs require params")
             _require(warmup is not None and roi is not None,

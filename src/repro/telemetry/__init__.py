@@ -28,6 +28,7 @@ See ``docs/observability.md`` for the full event schema and CLI
 examples.
 """
 
+from repro.telemetry.export import events_digest
 from repro.telemetry.events import (
     CLASSIFY,
     DROP,
@@ -63,6 +64,7 @@ __all__ = [
     "USEFUL",
     "Event",
     "EventLog",
+    "events_digest",
     "NULL_RECORDER",
     "Recorder",
     "TraceRunResult",

@@ -10,24 +10,53 @@ rectangular table.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections.abc import Iterable
 
-from repro.stats.export import read_jsonl, write_csv, write_jsonl
 from repro.telemetry.events import EVENT_FIELDS, Event
+
+# repro.stats pulls in the core package (for per-class metrics), which
+# itself imports repro.telemetry — deferring the exporter plumbing
+# import keeps this module importable from the package __init__.
 
 
 def write_events_jsonl(path: str, events: Iterable[Event]) -> None:
     """Write an event stream as JSON-lines."""
+    from repro.stats.export import write_jsonl
+
     write_jsonl(path, (event.to_dict() for event in events))
+
+
+def events_digest(events: Iterable[Event]) -> str:
+    """Order-sensitive content hash of a decision stream.
+
+    Hashes each event's canonical compact-JSON form in order, so two
+    runs emitted bit-identical decision streams iff their digests
+    match.  ``repro trace`` prints it for both live runs and
+    ``--replay``, which is how the ingestion chaos proof compares a
+    lenient-mode run against its clean-minus-quarantined twin without
+    shipping either event stream around.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for event in events:
+        digest.update(json.dumps(event.to_dict(), sort_keys=True,
+                                 separators=(",", ":")).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 def read_events_jsonl(path: str) -> list[Event]:
     """Read an event stream written by :func:`write_events_jsonl`."""
+    from repro.stats.export import read_jsonl
+
     return [Event.from_dict(row) for row in read_jsonl(path)]
 
 
 def write_events_csv(path: str, events: Iterable[Event]) -> None:
     """Write an event stream as a flat CSV with every event field."""
+    from repro.stats.export import write_csv
+
     rows = [
         [getattr(event, name) for name in EVENT_FIELDS] for event in events
     ]

@@ -120,6 +120,32 @@ def _compare(trace, config: str, label: str, warmup=None,
     )
 
 
+def _ingest_round_trip_trace(trace):
+    """A trace round-tripped through the ingestion layer (in memory).
+
+    Serializes the workload to canonical k6 text, then strict-ingests
+    it back — the exact path an externally supplied trace takes into
+    the simulator.  The ingested twin has only the memory records
+    (k6 carries no branches) with the synthetic k6 instruction
+    pointers, so it is a *different* cell from the source workload;
+    what the gate demands is that both engines agree on it too.
+    """
+    from repro.ingest import ingest_k6
+    from repro.ingest.k6 import K6_CYCLE_STEP, _COMMAND_FOR
+
+    lines = []
+    for kind, _ip, addr, _dep in trace:
+        command = _COMMAND_FOR.get(kind)
+        if command is None:
+            continue
+        lines.append(f"0x{addr:x} {command} "
+                     f"{len(lines) * K6_CYCLE_STEP}\n")
+    payload = "".join(lines).encode("ascii")
+    ingested, report = ingest_k6(payload, name=f"{trace.name}.k6")
+    assert report.records == len(lines)
+    return ingested
+
+
 def run_cross_engine(
     workloads: tuple[str, ...] = GOLDEN_WORKLOADS,
     prefetchers: list[str] | None = None,
@@ -131,10 +157,12 @@ def run_cross_engine(
     Every (workload, config) cell is simulated twice — once per engine,
     each time with freshly constructed prefetchers so no state leaks
     between runs — and the two :class:`repro.sim.engine.SimResult`
-    values must compare equal.  With ``edge_cases`` the harness also
-    sweeps the warm-up/budget/chunking boundary combinations in
-    :data:`EDGE_CASES` on the first workload under the full IPCP
-    configuration.
+    values must compare equal.  One extra cell round-trips the first
+    workload through the k6 ingestion layer so externally ingested
+    traces are covered by the same equivalence demand.  With
+    ``edge_cases`` the harness also sweeps the warm-up/budget/chunking
+    boundary combinations in :data:`EDGE_CASES` on the first workload
+    under the full IPCP configuration.
     """
     if prefetchers is None:
         prefetchers = golden_prefetchers()
@@ -143,6 +171,11 @@ def run_cross_engine(
     for trace in traces:
         for config in prefetchers:
             cells.append(_compare(trace, config, f"{trace.name}/{config}"))
+    if traces:
+        ingested = _ingest_round_trip_trace(traces[0])
+        cells.append(_compare(
+            ingested, "ipcp", f"{ingested.name}/ipcp[ingest-round-trip]",
+        ))
     if edge_cases and traces:
         trace = traces[0]
         for warmup, budget, chunk in EDGE_CASES:

@@ -502,7 +502,8 @@ class TestServiceCommands:
     def test_submit_without_spec_or_workload_exits_3(self, capsys):
         code = main(["submit", "--port", "1"])
         assert code == ConfigurationError.exit_code
-        assert "--spec FILE or --workload" in capsys.readouterr().err
+        assert "--spec FILE, --workload NAME or --trace-ref" in (
+            capsys.readouterr().err)
 
     def test_submit_unreachable_service_exits_11(self, capsys):
         # Nothing listens on this port: the client surfaces a

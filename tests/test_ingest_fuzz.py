@@ -1,0 +1,102 @@
+"""Property-based fuzzing of the lenient ingestion path.
+
+The robustness contract: lenient ingestion of *any* byte-mutated valid
+trace never raises (short of the error budget, which these tests keep
+out of reach) and never emits a record the simulator would reject —
+mutations either leave a record intact or get it dropped, there is no
+third outcome where damaged bytes leak through as a "valid" record
+with garbage fields.
+"""
+
+from __future__ import annotations
+
+import gzip
+
+from hypothesis import given, strategies as st
+
+from repro.ingest import LENIENT, ingest_binary, ingest_k6, write_binary
+from repro.sim.trace import LOAD, STORE, validate_record
+
+
+def _k6_payload(n: int = 40) -> bytes:
+    lines = [
+        f"0x{0x2_0000 + 64 * i:x} "
+        f"{'P_MEM_RD' if i % 2 else 'P_MEM_WR'} {10 * i}\n"
+        for i in range(n)
+    ]
+    return "".join(lines).encode()
+
+
+def _mutate(payload: bytes, mutations) -> bytes:
+    blob = bytearray(payload)
+    for position, value in mutations:
+        blob[position % len(blob)] = value
+    return bytes(blob)
+
+
+_MUTATIONS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1 << 16),
+              st.integers(min_value=0, max_value=255)),
+    min_size=1, max_size=16,
+)
+
+
+def _assert_all_emitted_records_valid(trace) -> None:
+    for record in trace:
+        validate_record(record)
+        kind, _ip, addr, dep = record
+        assert kind in (LOAD, STORE)
+        assert 0 < addr < (1 << 64)
+        assert dep == 0
+
+
+@given(mutations=_MUTATIONS)
+def test_mutated_k6_text_never_raises_never_leaks(mutations):
+    mutated = _mutate(_k6_payload(), mutations)
+    trace, report = ingest_k6(mutated, name="fuzz", policy=LENIENT,
+                              max_errors=1 << 20)
+    _assert_all_emitted_records_valid(trace)
+    assert report.records == len(trace)
+    assert report.records + report.skipped >= len(trace)
+
+
+@given(mutations=_MUTATIONS)
+def test_mutated_gzip_stream_never_raises(mutations):
+    # Damage to the *compressed* bytes surfaces as truncation/CRC
+    # faults, counted, never as an exception or a garbage record.
+    mutated = _mutate(gzip.compress(_k6_payload(), mtime=0), mutations)
+    trace, report = ingest_k6(mutated, name="fuzz", policy=LENIENT,
+                              max_errors=1 << 20)
+    _assert_all_emitted_records_valid(trace)
+
+
+def _binary_payload() -> bytes:
+    import os
+    import tempfile
+
+    fd, path = tempfile.mkstemp(suffix=".rib")
+    os.close(fd)
+    try:
+        write_binary(
+            [(LOAD if i % 2 else STORE, 0x400_000, 0x3_0000 + 64 * i, 0)
+             for i in range(40)], path)
+        with open(path, "rb") as fh:
+            return fh.read()
+    finally:
+        os.remove(path)
+
+
+_BINARY_CLEAN = _binary_payload()
+
+
+@given(mutations=_MUTATIONS)
+def test_mutated_binary_never_raises_never_leaks(mutations):
+    mutated = _mutate(_BINARY_CLEAN, mutations)
+    trace, report = ingest_binary(mutated, name="fuzz", policy=LENIENT,
+                                  max_errors=1 << 20)
+    for record in trace:
+        validate_record(record)
+        kind, _ip, addr, dep = record
+        if kind in (LOAD, STORE):
+            assert addr != 0
+        assert dep in (0, 1)

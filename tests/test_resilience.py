@@ -421,6 +421,45 @@ class TestCheckpointJournal:
         assert failure.attempts == 3
         journal.close()
 
+    def test_nul_padded_tail_is_skipped_and_counted(self, tmp_path):
+        # A journalling filesystem replaying a metadata-only commit
+        # after power loss can leave a pre-allocated run of NUL bytes
+        # where flushed lines never hit the platter.
+        journal_path = str(tmp_path / "sweep.journal")
+        with CheckpointJournal(journal_path) as journal:
+            journal.record_done("aaaa")
+            journal.record_done("bbbb", offset=4839, written=198)
+        with open(journal_path, "ab") as fh:
+            fh.write(b"\x00" * 256 + b"\n")          # padded tail
+            fh.write(b'{"key": "cccc", "sta\x00\x00')  # torn + padded
+
+        journal = CheckpointJournal(journal_path)
+        assert journal.done_keys == {"aaaa", "bbbb"}
+        assert journal.skipped_lines == 2
+        journal.close()
+
+    def test_entry_padded_with_nuls_still_loads(self, tmp_path):
+        # NUL runs around an intact entry must not hide it.
+        journal_path = str(tmp_path / "sweep.journal")
+        with open(journal_path, "wb") as fh:
+            fh.write(b'\x00\x00{"key": "aaaa", "status": "done"}\x00\x00\n')
+        journal = CheckpointJournal(journal_path)
+        assert journal.done_keys == {"aaaa"}
+        assert journal.skipped_lines == 0
+        journal.close()
+
+    def test_record_done_extras_round_trip(self, tmp_path):
+        # The ingest converter checkpoints {offset, written} this way.
+        journal_path = str(tmp_path / "sweep.journal")
+        with CheckpointJournal(journal_path) as journal:
+            journal.record_done("ingest:t.rib:chunk:0",
+                                offset=12345, written=64)
+        journal = CheckpointJournal(journal_path)
+        entry = journal.entries["ingest:t.rib:chunk:0"]
+        assert entry["offset"] == 12345
+        assert entry["written"] == 64
+        journal.close()
+
     def test_flush_active_journals(self, tmp_path):
         journal = CheckpointJournal(str(tmp_path / "a.journal"))
         assert flush_active_journals() >= 1

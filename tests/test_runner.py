@@ -180,6 +180,23 @@ class TestPersistentCache:
         assert not hit
         assert not os.path.exists(entry)
 
+    def test_corrupt_evictions_counter(self, trace, tmp_path):
+        # Every successful eviction of a corrupt entry is counted, and
+        # the runner surfaces the counter alongside its own.
+        cache = ResultCache(str(tmp_path / "cache"))
+        spec = levels_job(trace, "none")
+        runner = SimulationRunner(cache=cache)
+        runner.run_one(spec)
+        assert cache.corrupt_evictions == 0
+        entry = cache._entry_path(spec.cache_key())
+        with open(entry, "wb") as fh:
+            fh.write(b"RPRC1\n" + b"\x00" * 16 + b"garbage")
+        runner.run_one(spec)
+        assert cache.corrupt == 1
+        assert cache.corrupt_evictions == 1
+        assert runner.corrupt_evictions == 1
+        assert SimulationRunner(cache=None).corrupt_evictions == 0
+
     def test_len_counts_entries(self, trace, tmp_path):
         cache = ResultCache(str(tmp_path / "cache"))
         assert len(cache) == 0

@@ -258,6 +258,36 @@ class TestMetrics:
         assert snapshot["cache"]["hit_rate"] == 0.5
         assert snapshot["latency"]["p95_s"] == pytest.approx(0.2)
 
+    def test_corrupt_evictions_surface_in_metrics(self, tmp_path):
+        # A fresh service pointed at a cache holding a corrupted entry
+        # detects, evicts and recomputes on the worker's cache lookup —
+        # and the eviction shows up in the metrics snapshot.
+        from repro.runner import ResultCache
+
+        cache_dir = str(tmp_path / "cache")
+        spec = tiny_spec()
+        service = JobService(workers=1, cache_dir=cache_dir).start()
+        try:
+            service.submit(spec)
+            service.wait(spec.cache_key(), timeout=60)
+            assert (service.metrics_snapshot()["runner"]
+                    ["corrupt_evictions"]) == 0
+        finally:
+            service.stop()
+
+        entry = ResultCache(cache_dir)._entry_path(spec.cache_key())
+        with open(entry, "wb") as fh:
+            fh.write(b"RPRC1\n" + b"\x00" * 16 + b"garbage")
+
+        service = JobService(workers=1, cache_dir=cache_dir).start()
+        try:
+            service.submit(spec)
+            service.wait(spec.cache_key(), timeout=60)
+            snapshot = service.metrics_snapshot()
+            assert snapshot["runner"]["corrupt_evictions"] == 1
+        finally:
+            service.stop()
+
 
 # ----------------------------------------------------------------------
 # the assembled service core
@@ -510,6 +540,42 @@ class TestDrainResume:
         assert rehydrated["state"] == "done"
         assert rehydrated["result"]["digest"] == done["result"]["digest"]
         second.stop()
+
+    def test_resume_reruns_done_job_whose_cache_entry_was_lost(
+            self, tmp_path):
+        """A journaled-done job with no cached payload must re-run.
+
+        The journal can say ``done`` while the cache entry is gone —
+        evicted as corrupt, or the cache directory did not survive the
+        restart.  Dropping the job would strand every waiter on an
+        unknown key; the service must re-enqueue it instead.
+        """
+        cache_dir = str(tmp_path / "cache")
+        journal = str(tmp_path / "svc.jsonl")
+        spec = tiny_spec()
+        first = JobService(workers=1, cache_dir=cache_dir,
+                           journal=journal).start()
+        first.submit(spec)
+        done = first.wait(spec.cache_key(), timeout=60)
+        assert done is not None and done["state"] == "done"
+        first.stop()
+
+        # Corrupt the published entry so the resume probe evicts it.
+        from repro.runner import ResultCache
+        entry = ResultCache(cache_dir)._entry_path(spec.cache_key())
+        with open(entry, "wb") as fh:
+            fh.write(b"RPRC1\n" + b"\x00" * 16 + b"garbage")
+
+        second = JobService(workers=1, cache_dir=cache_dir,
+                            journal=journal).start()
+        try:
+            assert second.metrics.requeued_lost == 1
+            assert second.metrics.resumed == 0
+            rerun = second.wait(spec.cache_key(), timeout=60)
+            assert rerun is not None and rerun["state"] == "done"
+            assert rerun["result"]["digest"] == done["result"]["digest"]
+        finally:
+            second.stop()
 
 
 # ----------------------------------------------------------------------
