@@ -84,7 +84,7 @@ _REPRODUCING = """\
 ```bash
 repro paper --check            # evaluate every claim; nonzero on any flip
 repro paper --check --jobs 4   # same, fanned out over 4 workers
-repro paper --write            # regenerate this file + BENCH_6.json
+repro paper --write            # regenerate this file + BENCH_9.json
 repro paper --list             # claim ids for --only
 repro paper --only fig8-multilevel fig7-l1-comparison
 pytest benchmarks/ --benchmark-only   # human-readable reports in benchmarks/out/
@@ -408,7 +408,33 @@ def _m_abl_mixdist(v):
 def _m_throughput(v):
     return ("machine-dependent — order-of-magnitude floors plus "
             "batched-vs-scalar ratio gates; live numbers land in "
-            "`BENCH_6.json`")
+            "`BENCH_9.json`")
+
+
+def _m_mix_mpki(v):
+    mpki = [v[f"mix.mpki.mix{i}"] for i in range(1, 8)]
+    chain = " -> ".join(_f2(value) for value in mpki)
+    return (f"baseline L1 MPKI {chain} "
+            f"({mpki[-1] / mpki[0]:.0f}x span, monotone)")
+
+
+def _m_mix_ws(v):
+    chain = _chain(v, {"IPCP": "mix.geo.ipcp",
+                       "GS-only": "mix.geo.ipcp_gs_only",
+                       "MLOP": "mix.geo.mlop",
+                       "Bingo": "mix.geo.bingo"})
+    return (f"{chain} geomean over mix1-7; worst mixes "
+            f"{_f3(v['mix.min.ipcp'])} (IPCP) vs "
+            f"{_f3(v['mix.min.mlop'])} (MLOP) / "
+            f"{_f3(v['mix.min.bingo'])} (Bingo)")
+
+
+def _m_mix_ordering(v):
+    return (f"IPCP NWS {_f3(v['mix.nws.mix1.ipcp'])} (mix1) -> "
+            f"{_f3(v['mix.nws.mix4.ipcp'])} (mix4) -> "
+            f"{_f3(v['mix.nws.mix7.ipcp'])} (mix7); on mix7 MLOP "
+            f"{_f3(v['mix.nws.mix7.mlop'])}, Bingo "
+            f"{_f3(v['mix.nws.mix7.bingo'])}")
 
 
 MEASURED = {
@@ -450,6 +476,9 @@ MEASURED = {
     "abl-pathological-mix": _m_abl_path,
     "abl-mix-distribution": _m_abl_mixdist,
     "bench-throughput": _m_throughput,
+    "mix-mpki-gradient": _m_mix_mpki,
+    "mix-weighted-speedup": _m_mix_ws,
+    "mix-gradient-ordering": _m_mix_ordering,
 }
 
 _SECTION_HEADINGS = {
@@ -457,6 +486,7 @@ _SECTION_HEADINGS = {
     "figures": "## Figures",
     "sensitivity": "## Sensitivity studies (Section VI-C)",
     "ablations": "## Ablations & extensions (beyond the paper's figures)",
+    "mixes": "## Graded multicore mixes (beyond the paper's figures)",
 }
 
 

@@ -16,6 +16,7 @@ no-prefetching configuration's.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable
 
@@ -31,6 +32,36 @@ PrefetcherFactory = Callable[[], Prefetcher | None]
 
 _CHUNK = 64  # instructions per scheduling quantum
 
+# Why every mix executes on the scalar path regardless of the requested
+# engine: the cores interleave through one shared LLC/DRAM hierarchy,
+# which is exactly the caller-supplied-hierarchy configuration the
+# batched engine's support_reason() refuses to fuse.
+MIX_SCALAR_REASON = (
+    "mix cores interleave through a shared llc/dram hierarchy "
+    "(caller-supplied hierarchy is unsupported by the batched engine)"
+)
+
+# Mirror of repro.sim.batched._LAST_RUN for mixes: what the most recent
+# simulate_mix() in this process actually executed, and why.
+_LAST_MIX_RUN: dict = {
+    "requested": None,
+    "engine": None,
+    "reason": None,
+    "cores": 0,
+}
+
+
+def get_last_mix_run_info() -> dict:
+    """Snapshot of the most recent :func:`simulate_mix` dispatch.
+
+    Keys: ``requested`` (engine the caller asked for), ``engine`` (the
+    one that ran), ``reason`` (why they differ, ``None`` when they
+    match) and ``cores``.  The same information rides on the returned
+    :class:`MixResult` (``engine``/``engine_reason``) so it survives
+    the runner's process boundary and result cache.
+    """
+    return dict(_LAST_MIX_RUN)
+
 
 @dataclass
 class MixResult:
@@ -41,14 +72,42 @@ class MixResult:
     ipc_alone: list[float]
     dram_reads: int
     dram_writes: int
+    engine: str = "scalar"
+    engine_reason: str | None = None
+
+    @property
+    def per_core_speedup(self) -> list[float]:
+        """Each core's IPC_together(i) / IPC_alone(i) contribution.
+
+        A degenerate core — zero or non-finite alone IPC (empty ROI
+        window), or a non-finite together IPC — contributes a defined
+        0.0 instead of propagating ``nan``/``inf`` into mix tables and
+        claim predicates; :attr:`degenerate_cores` names the culprits.
+        """
+        return [
+            together / alone
+            if alone > 0.0 and math.isfinite(alone)
+            and math.isfinite(together)
+            else 0.0
+            for together, alone in zip(self.ipc_together, self.ipc_alone)
+        ]
+
+    @property
+    def degenerate_cores(self) -> tuple[int, ...]:
+        """Indices of cores whose speedup contribution was zeroed."""
+        return tuple(
+            core
+            for core, (together, alone) in enumerate(
+                zip(self.ipc_together, self.ipc_alone)
+            )
+            if not (alone > 0.0 and math.isfinite(alone)
+                    and math.isfinite(together))
+        )
 
     @property
     def weighted_speedup(self) -> float:
         """sum_i IPC_together(i) / IPC_alone(i)."""
-        return sum(
-            together / alone if alone else 0.0
-            for together, alone in zip(self.ipc_together, self.ipc_alone)
-        )
+        return sum(self.per_core_speedup)
 
     @property
     def cores(self) -> int:
@@ -216,13 +275,21 @@ def simulate_mix(
     :func:`repro.sim.engine.simulate`, but mixes always execute on the
     scalar path: the cores interleave through one shared hierarchy,
     which is exactly the caller-supplied-hierarchy configuration the
-    batched engine refuses to fuse (see :func:`support_reason`).
+    batched engine refuses to fuse (see :func:`support_reason`).  The
+    fallback is *recorded*, not silent — on the returned result
+    (``engine``/``engine_reason``) and via
+    :func:`get_last_mix_run_info` — so a ``--engine batched`` mix run
+    reports why it ran scalar instead of quietly doing so.
     """
     from repro.sim.batched import validate_engine
 
     validate_engine(engine)
     base = params or SystemParams()
     cores = len(traces)
+    reason = MIX_SCALAR_REASON if engine != "scalar" else None
+    _LAST_MIX_RUN.update(
+        requested=engine, engine="scalar", reason=reason, cores=cores,
+    )
     mc_params = _multicore_params(base, cores)
 
     ipcs, dram = _simulate_together(
@@ -249,4 +316,6 @@ def simulate_mix(
         ipc_alone=alone,
         dram_reads=dram.reads,
         dram_writes=dram.writes,
+        engine="scalar",
+        engine_reason=reason,
     )

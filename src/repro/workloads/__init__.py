@@ -9,8 +9,17 @@ run.  See DESIGN.md §3 for the substitution rationale.
 """
 
 from repro.workloads.cloudsuite import cloudsuite_suite
-from repro.workloads.mixes import heterogeneous_mixes, homogeneous_mix
+from repro.workloads.gap import GAP_BENCHMARKS, gap_trace
+from repro.workloads.mixes import (
+    GRADED_MIXES,
+    graded_mix,
+    graded_suite,
+    heterogeneous_mixes,
+    homogeneous_mix,
+    mix_trace,
+)
 from repro.workloads.neural import neural_suite
+from repro.workloads.stream import STREAM_BENCHMARKS, stream_trace
 from repro.workloads.patterns import (
     WorkloadBuilder,
     complex_stride_pattern,
@@ -28,19 +37,27 @@ from repro.workloads.spec import (
 )
 
 __all__ = [
+    "GAP_BENCHMARKS",
+    "GRADED_MIXES",
     "SPEC_BENCHMARKS",
+    "STREAM_BENCHMARKS",
     "WorkloadBuilder",
     "cloudsuite_suite",
     "complex_stride_pattern",
     "compute_dense_trace",
     "dense_region_burst",
     "full_suite",
+    "gap_trace",
+    "graded_mix",
+    "graded_suite",
     "heterogeneous_mixes",
     "homogeneous_mix",
     "memory_intensive_suite",
+    "mix_trace",
     "neural_suite",
     "pointer_chase",
     "spec_trace",
     "stream_pattern",
+    "stream_trace",
     "strided_pattern",
 ]

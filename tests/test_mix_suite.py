@@ -1,0 +1,153 @@
+"""Tests for the MPKI-graded mix1-mix7 suite and its claim cell.
+
+Determinism (identical mix traces across builds and across processes,
+stable content-addressed cache keys for GAP/STREAM traces), the
+mix1 -> mix7 MPKI gradient at test scale, the weighted-speedup
+degenerate-core guards, and the recorded (not silent) scalar-engine
+fallback for multicore mixes.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import SimulationRunner, levels_job, mix_job
+from repro.runner.job import trace_signature
+from repro.sim.multicore import (
+    MIX_SCALAR_REASON,
+    MixResult,
+    get_last_mix_run_info,
+    simulate_mix,
+)
+from repro.workloads import (
+    GRADED_MIXES,
+    graded_mix,
+    graded_suite,
+    heterogeneous_mixes,
+)
+from repro.workloads.gap import gap_trace
+from repro.workloads.stream import stream_trace
+
+#: Claim registry rows this benchmark backs (see docs/paperclaims.md).
+CLAIM_IDS = (
+    "mix-mpki-gradient",
+    "mix-weighted-speedup",
+    "mix-gradient-ordering",
+)
+
+
+class TestDeterminism:
+    def test_graded_mix_reproducible_in_process(self):
+        first = [trace_signature(t) for t in graded_mix("mix5", 0.02)]
+        second = [trace_signature(t) for t in graded_mix("mix5", 0.02)]
+        assert first == second
+
+    def test_graded_mix_identical_across_processes(self):
+        code = (
+            "from repro.runner.job import trace_signature\n"
+            "from repro.workloads import graded_mix\n"
+            "print(','.join(trace_signature(t)"
+            " for t in graded_mix('mix6', 0.02)))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+        )
+        local = ",".join(
+            trace_signature(t) for t in graded_mix("mix6", 0.02))
+        assert proc.stdout.strip() == local
+
+    def test_gap_and_stream_cache_keys_stable(self):
+        for build in (gap_trace, stream_trace):
+            name = "bfs_like" if build is gap_trace else "stream_triad"
+            a = levels_job(build(name, 0.02), "none").cache_key()
+            b = levels_job(build(name, 0.02), "none").cache_key()
+            assert a == b
+
+    def test_graded_suite_covers_all_mixes(self):
+        suite = graded_suite(scale=0.02)
+        assert list(suite) == [f"mix{i}" for i in range(1, 8)]
+        assert all(len(traces) == 4 for traces in suite.values())
+        assert list(suite) == list(GRADED_MIXES)
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            graded_mix("mix99", 0.02)
+
+    def test_heterogeneous_duplicates_get_distinct_streams(self):
+        # Seed 11's first mix draws mcf_994_like on three cores; the
+        # core-index seed salt must keep their access streams distinct
+        # rather than bit-identical (perfectly correlated).
+        mix = heterogeneous_mixes(1, 4, scale=0.02, seed=11)[0]
+        names = [t.name for t in mix]
+        assert len(set(names)) < len(names)  # the duplicate draw
+        sigs = [trace_signature(t) for t in mix]
+        assert len(set(sigs)) == len(sigs)
+
+
+class TestMpkiGradient:
+    def test_mpki_monotone_mix1_to_mix7(self):
+        runner = SimulationRunner(jobs=1)
+        mpki = []
+        for traces in graded_suite(scale=0.05).values():
+            results = runner.run(
+                [levels_job(trace, "none") for trace in traces])
+            mpki.append(sum(r.mpki("l1") for r in results) / len(results))
+        assert mpki == sorted(mpki)
+        # The gradient is a real span, not a plateau.
+        assert mpki[-1] > 5 * mpki[0]
+
+
+class TestWeightedSpeedupGuards:
+    def test_nan_alone_ipc_is_zeroed_and_reported(self):
+        result = MixResult(["a", "b"], [1.0, 2.0], [float("nan"), 2.0],
+                           0, 0)
+        assert result.weighted_speedup == pytest.approx(1.0)
+        assert result.degenerate_cores == (0,)
+
+    def test_inf_together_ipc_is_zeroed(self):
+        result = MixResult(["a"], [float("inf")], [1.0], 0, 0)
+        assert result.weighted_speedup == 0.0
+        assert result.degenerate_cores == (0,)
+
+    def test_healthy_mix_has_no_degenerates(self):
+        result = MixResult(["a", "b"], [1.0, 1.0], [2.0, 4.0], 0, 0)
+        assert result.degenerate_cores == ()
+        assert result.weighted_speedup == pytest.approx(0.75)
+        assert result.per_core_speedup == [
+            pytest.approx(0.5), pytest.approx(0.25)]
+
+
+class TestEngineFallback:
+    def test_batched_request_falls_back_with_reason(self):
+        traces = graded_mix("mix1", 0.02)
+        result = simulate_mix(traces, warmup=200, roi=500,
+                              engine="batched")
+        assert result.engine == "scalar"
+        assert result.engine_reason == MIX_SCALAR_REASON
+        info = get_last_mix_run_info()
+        assert info["requested"] == "batched"
+        assert info["engine"] == "scalar"
+        assert info["reason"] == MIX_SCALAR_REASON
+        assert info["cores"] == 4
+
+    def test_scalar_request_records_no_reason(self):
+        traces = graded_mix("mix1", 0.02)
+        result = simulate_mix(traces, warmup=200, roi=500,
+                              engine="scalar")
+        assert result.engine == "scalar"
+        assert result.engine_reason is None
+        assert get_last_mix_run_info()["reason"] is None
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_mix(graded_mix("mix1", 0.02), engine="quantum")
+
+    def test_mix_job_engine_salts_the_cache_key(self):
+        traces = graded_mix("mix1", 0.02)
+        scalar = mix_job(traces, "none", warmup=200, roi=500)
+        batched = mix_job(traces, "none", warmup=200, roi=500,
+                          engine="batched")
+        assert scalar.cache_key() != batched.cache_key()

@@ -5,14 +5,19 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.sim.trace import LOAD, STORE
 from repro.workloads import (
+    GAP_BENCHMARKS,
     SPEC_BENCHMARKS,
+    STREAM_BENCHMARKS,
     cloudsuite_suite,
     full_suite,
+    gap_trace,
     heterogeneous_mixes,
     homogeneous_mix,
     memory_intensive_suite,
+    mix_trace,
     neural_suite,
     spec_trace,
+    stream_trace,
 )
 from repro.workloads.cloudsuite import CLOUDSUITE_BENCHMARKS, cloudsuite_trace
 from repro.workloads.neural import NEURAL_BENCHMARKS, neural_trace
@@ -158,6 +163,56 @@ class TestCloudAndNeural:
         lines = {a >> 6 for a in loads}
         # Streaming: lines touched ~ loads / (loads per line), i.e. low reuse.
         assert len(lines) > len(loads) // 20
+
+
+class TestGapAndStream:
+    def test_all_gap_benchmarks_build(self):
+        for name in GAP_BENCHMARKS:
+            trace = gap_trace(name, scale=0.05)
+            assert len(trace) > 0
+            trace.validate()
+
+    def test_all_stream_benchmarks_build(self):
+        for name in STREAM_BENCHMARKS:
+            trace = stream_trace(name, scale=0.05)
+            assert len(trace) > 0
+            trace.validate()
+
+    def test_gap_traversals_have_dependent_loads(self):
+        trace = gap_trace("bfs_like", 0.05)
+        dependent = [r for r in trace if r[0] == LOAD and r[3] == 1]
+        assert len(dependent) > len(trace) // 20
+
+    def test_stream_kernels_are_sequential(self):
+        trace = stream_trace("stream_copy", 0.05)
+        loads = [addr for kind, _, addr, _ in trace if kind == LOAD]
+        lines = {a >> 6 for a in loads}
+        # Streaming: nearly one new line per 8 loads, low reuse.
+        assert len(lines) > len(loads) // 20
+
+    def test_stream_kernels_write_results(self):
+        for name in ("stream_copy", "stream_triad"):
+            trace = stream_trace(name, 0.05)
+            assert any(kind == STORE for kind, _, _, _ in trace)
+
+    def test_deterministic_given_seed(self):
+        assert list(gap_trace("sssp_like", 0.05, seed=3)) == \
+               list(gap_trace("sssp_like", 0.05, seed=3))
+        assert list(stream_trace("stream_add", 0.05, seed=3)) == \
+               list(stream_trace("stream_add", 0.05, seed=3))
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(ConfigurationError):
+            gap_trace("pagerank_like")
+        with pytest.raises(ConfigurationError):
+            stream_trace("stream_reverse")
+
+    def test_mix_trace_resolves_all_registries(self):
+        assert mix_trace("lbm_like", 0.02).name == "lbm_like"
+        assert mix_trace("bfs_like", 0.02).name == "bfs_like"
+        assert mix_trace("stream_scale", 0.02).name == "stream_scale"
+        with pytest.raises(ConfigurationError):
+            mix_trace("not_a_benchmark", 0.02)
 
 
 class TestMixes:
