@@ -62,6 +62,7 @@ from repro.sim.trace import load_trace, save_trace
 from repro.stats import format_table, normalized_weighted_speedup
 from repro.workloads import homogeneous_mix, spec_trace
 from repro.workloads.cloudsuite import CLOUDSUITE_BENCHMARKS, cloudsuite_trace
+from repro.workloads.frontend import FRONTEND_BENCHMARKS, frontend_trace
 from repro.workloads.gap import GAP_BENCHMARKS, gap_trace
 from repro.workloads.neural import NEURAL_BENCHMARKS, neural_trace
 from repro.workloads.spec import (
@@ -86,6 +87,8 @@ def build_trace(name: str, scale: float):
         return neural_trace(name, scale)
     if name in EXTENSION_BENCHMARKS:
         return extension_trace(name, scale)
+    if name in FRONTEND_BENCHMARKS:
+        return frontend_trace(name, scale)
     raise ReproError(
         f"unknown workload {name!r}; see `python -m repro list-workloads`"
     )
@@ -121,6 +124,8 @@ def cmd_list_workloads(args) -> int:
         rows.append([name, "neural", "-"])
     for name in EXTENSION_BENCHMARKS:
         rows.append([name, "extension", "-"])
+    for name in FRONTEND_BENCHMARKS:
+        rows.append([name, "frontend", "-"])
     print(format_table(["workload", "suite", "memory-intensive"], rows))
     return 0
 
@@ -174,6 +179,39 @@ def cmd_run(args) -> int:
         ["metric", "no prefetching", args.prefetcher], rows,
         title=f"{trace.name} ({len(trace)} instructions)",
     ))
+    return 0
+
+
+def cmd_frontend(args) -> int:
+    """Compare instruction prefetchers over the frontend-bound suite."""
+    from repro.frontend import (
+        get_frontend_run_info,
+        make_frontend_prefetcher,
+        simulate_frontend,
+    )
+
+    names = (list(FRONTEND_BENCHMARKS) if args.workloads == "all"
+             else args.workloads.split(","))
+    configs = [c for c in args.prefetchers.split(",") if c != "none"]
+    rows = []
+    for name in names:
+        trace = frontend_trace(name, args.scale)
+        baseline = simulate_frontend(trace, engine=args.engine)
+        rows.append([name, "none", 1.0, baseline.l1i_mpki, "-",
+                     baseline.walks_pki])
+        for config in configs:
+            result = simulate_frontend(
+                trace, make_frontend_prefetcher(config),
+                engine=args.engine)
+            rows.append([name, config, result.speedup_over(baseline),
+                         result.l1i_mpki, result.coverage_over(baseline),
+                         result.walks_pki])
+    print(format_table(
+        ["workload", "prefetcher", "speedup", "L1-I MPKI", "coverage",
+         "walks/ki"], rows))
+    info = get_frontend_run_info()
+    if info.get("support_reason"):
+        print(f"engine: {info['engine']} ({info['support_reason']})")
     return 0
 
 
@@ -352,6 +390,26 @@ def cmd_verify(args) -> int:
             requests = sum(r.requests for r in reports)
             print(f"OK — {len(reports)} (prefetcher, trace) cells, "
                   f"{accesses} accesses, {requests} requests audited")
+
+        print("== frontend invariants (instruction prefetchers x "
+              "frontend suite) ==")
+        from repro.verify.invariants import run_frontend_invariant_sweep
+        from repro.workloads import frontend_suite
+
+        fe_scale = max(args.invariant_scale, 0.2)
+        fe_reports = run_frontend_invariant_sweep(
+            frontend_suite(scale=fe_scale)
+        )
+        fe_bad = [r for r in fe_reports if not r.ok]
+        for report in fe_bad[:10]:
+            failed = True
+            print(report.describe())
+        if not fe_bad:
+            accesses = sum(r.accesses for r in fe_reports)
+            requests = sum(r.requests for r in fe_reports)
+            print(f"OK — {len(fe_reports)} (prefetcher, trace) cells, "
+                  f"{accesses} fetch transitions, {requests} requests "
+                  "audited")
 
     if not args.skip_golden:
         print("== golden-stats regression ==")
@@ -1085,7 +1143,7 @@ def cmd_paper(args) -> int:
                   + ("is OUT OF DATE vs live results — run "
                      "`repro paper --write`" if drift
                      else "matches live results byte for byte"))
-        bench_path = root / "BENCH_9.json"
+        bench_path = root / "BENCH_10.json"
         paperclaims.write_bench(report, wall, str(bench_path))
         print(f"wrote {bench_path}")
 
@@ -1243,6 +1301,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulation engine (docs/engine.md)")
     add_runner_options(run)
     run.set_defaults(func=cmd_run)
+
+    frontend = sub.add_parser(
+        "frontend",
+        help="instruction-prefetching comparison over the L1-I/ITLB "
+             "model (docs/frontend.md)")
+    frontend.add_argument("--workloads", default="all",
+                          help="comma-separated frontend workload names, "
+                               "or 'all'")
+    frontend.add_argument("--prefetchers",
+                          default="next_line_i,mana_lite,ipcp_i",
+                          help="comma-separated frontend configurations "
+                               "(see repro.frontend.registry)")
+    frontend.add_argument("--scale", type=float, default=0.5)
+    frontend.add_argument("--engine", choices=ENGINES, default="scalar",
+                          help="frontend engine; 'batched' falls back to "
+                               "scalar with a support reason for now")
+    frontend.set_defaults(func=cmd_frontend)
 
     compare = sub.add_parser("compare", help="speedup table")
     compare.add_argument("--workloads", required=True,
@@ -1473,7 +1548,7 @@ def build_parser() -> argparse.ArgumentParser:
     paper = sub.add_parser(
         "paper",
         help="evaluate the paper-claim registry; regenerate "
-             "EXPERIMENTS.md and BENCH_9.json",
+             "EXPERIMENTS.md and BENCH_10.json",
     )
     paper.add_argument("--check", action="store_true",
                        help="exit nonzero if any claim flips or "

@@ -1,0 +1,124 @@
+"""Frontend baselines: next-line-I and the MANA-lite record-and-replay.
+
+Next-line-I is the classic fetch-directed baseline: on every
+fetch-block transition, grab the next ``degree`` sequential blocks
+(within the page — hardware next-line fetchers do not translate).
+
+MANA-lite distils the record-and-replay core of MANA (Ansari et al.,
+PAPERS.md): an L1-I *miss* anchors a recording window, and the next
+``stream_length`` distinct fetch blocks — hits or misses, i.e. the
+actual fetch path, which is what MANA's spatial regions capture —
+become the trigger's replay stream.  Whenever a known trigger block is
+fetched again, its stream is prefetched.  Unlike full MANA there is no
+spatial-region compression or HOBPT, just the bounded trigger table,
+which keeps the baseline honest about what bounded record-and-replay
+buys on these traces.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+from repro.prefetchers.base import AccessContext, Prefetcher, PrefetchRequest
+
+BLOCKS_PER_PAGE = 64
+
+
+class NextLineIPrefetcher(Prefetcher):
+    """Sequential next-block instruction prefetcher (page-bounded)."""
+
+    def __init__(self, degree: int = 2) -> None:
+        if degree < 1:
+            raise ConfigurationError("next-line degree must be >= 1")
+        super().__init__(name="next_line_i", storage_bits=0)
+        self.degree = degree
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        """Prefetch the next ``degree`` blocks in the same page."""
+        block = ctx.addr >> 6
+        page = block // BLOCKS_PER_PAGE
+        out = []
+        for k in range(1, self.degree + 1):
+            target = block + k
+            if target // BLOCKS_PER_PAGE != page:
+                self.bump("page_drops")
+                break
+            out.append(PrefetchRequest(addr=target << 6))
+        return out
+
+
+class ManaLitePrefetcher(Prefetcher):
+    """Miss-anchored record-and-replay over the fetch-block stream.
+
+    ``_table`` maps a trigger block (a block that missed) to the tuple
+    of distinct fetch blocks that followed it last time, LRU-bounded at
+    ``table_entries``.  Recording the *fetch path* rather than the miss
+    sequence is deliberate: capacity misses wander between passes over
+    the same code, but the path repeats — so a learned stream replays
+    identically on every later walk of that path, the property
+    ``tests/test_frontend.py`` locks down.
+    """
+
+    def __init__(self, table_entries: int = 2048,
+                 stream_length: int = 6) -> None:
+        if table_entries < 1 or stream_length < 1:
+            raise ConfigurationError(
+                "table_entries and stream_length must be >= 1"
+            )
+        # ~2k entries x (tag + 4 x 26-bit block pointers) — in the same
+        # storage ballpark as MANA's budget-constrained configurations.
+        super().__init__(
+            name="mana_lite",
+            storage_bits=table_entries * (26 + stream_length * 26),
+        )
+        self.table_entries = table_entries
+        self.stream_length = stream_length
+        self._table: OrderedDict[int, tuple[int, ...]] = OrderedDict()
+        self._trigger: int | None = None
+        self._stream: list[int] = []
+
+    def on_access(self, ctx: AccessContext) -> list[PrefetchRequest]:
+        """Record the fetch path after a miss; replay on known triggers.
+
+        Replaying on *any* access to a trigger (hit or miss) is what
+        lets covered streams chain: once a stream is prefetched, its
+        blocks arrive as hits, and those hits must kick off the next
+        streams or coverage stalls after one window.
+        """
+        block = ctx.addr >> 6
+        self._record(block, ctx.cache_hit)
+        recorded = self._table.get(block)
+        if recorded is None:
+            return []
+        self._table.move_to_end(block)
+        self.bump("replays")
+        return [PrefetchRequest(addr=b << 6) for b in recorded]
+
+    def _record(self, block: int, cache_hit: bool) -> None:
+        """Extend the open recording window; a miss may anchor a new one."""
+        if self._trigger is not None:
+            if block != self._trigger and block not in self._stream:
+                self._stream.append(block)
+            if len(self._stream) >= self.stream_length:
+                self._commit()
+                self._trigger = None
+                self._stream = []
+        if self._trigger is None and not cache_hit:
+            self._trigger = block
+            self._stream = []
+
+    def _commit(self) -> None:
+        """Store the completed stream, LRU-evicting if the table is full."""
+        if self._trigger is None or not self._stream:
+            return
+        table = self._table
+        if self._trigger in table:
+            table.move_to_end(self._trigger)
+        elif len(table) >= self.table_entries:
+            table.popitem(last=False)
+        table[self._trigger] = tuple(self._stream)
+
+    def recorded_stream(self, block: int) -> tuple[int, ...]:
+        """The stream currently recorded for ``block`` (tests/debug)."""
+        return self._table.get(block, ())

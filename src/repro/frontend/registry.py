@@ -1,0 +1,94 @@
+"""Named frontend prefetcher configurations.
+
+A dedicated registry, deliberately separate from
+:mod:`repro.prefetchers.registry`: the data-side registry feeds the
+golden grid, the cross-engine equivalence suite and the data-side
+invariant sweep, all of which iterate *every* registered name over
+*data* traces — instruction prefetchers trained on the fetch stream
+would only add noise there.  The frontend names instead feed
+:func:`repro.frontend.engine.simulate_frontend`, the frontend claim
+cell and :func:`repro.verify.invariants.run_frontend_invariant_sweep`.
+
+Same decorator idiom as the data side::
+
+    @register_frontend_prefetcher("my_config")
+    def _my_config() -> Prefetcher | None:
+        return MyPrefetcher()
+
+``None`` from a factory means "no prefetching" (the baseline).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.frontend.baselines import ManaLitePrefetcher, NextLineIPrefetcher
+from repro.frontend.ipcp_i import IpcpIConfig, IpcpIPrefetcher
+from repro.prefetchers.base import Prefetcher
+
+FrontendFactory = Callable[[], Prefetcher | None]
+
+_REGISTRY: dict[str, FrontendFactory] = {}
+
+
+def register_frontend_prefetcher(name: str):
+    """Class/function decorator registering a frontend configuration."""
+    key = name.lower()
+
+    def decorate(factory: FrontendFactory) -> FrontendFactory:
+        if key in _REGISTRY:
+            raise ConfigurationError(
+                f"frontend prefetcher {key!r} registered twice"
+            )
+        _REGISTRY[key] = factory
+        return factory
+
+    return decorate
+
+
+def available_frontend_prefetchers() -> list[str]:
+    """Sorted names of every registered frontend configuration."""
+    return sorted(_REGISTRY)
+
+
+def make_frontend_prefetcher(name: str) -> Prefetcher | None:
+    """Instantiate a registered configuration (fresh state every call)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(available_frontend_prefetchers())
+        raise ConfigurationError(
+            f"unknown frontend prefetcher {name!r} (known: {known})"
+        )
+    return _REGISTRY[key]()
+
+
+@register_frontend_prefetcher("none")
+def _none() -> Prefetcher | None:
+    """No instruction prefetching (the comparison baseline)."""
+    return None
+
+
+@register_frontend_prefetcher("next_line_i")
+def _next_line_i() -> Prefetcher:
+    """Degree-2 sequential next-block fetcher."""
+    return NextLineIPrefetcher(degree=2)
+
+
+@register_frontend_prefetcher("mana_lite")
+def _mana_lite() -> Prefetcher:
+    """Record-and-replay over L1-I miss streams (MANA-lite)."""
+    return ManaLitePrefetcher()
+
+
+@register_frontend_prefetcher("ipcp_i")
+def _ipcp_i() -> Prefetcher:
+    """The full IPCP-I bouquet, TLB-aware page policy."""
+    return IpcpIPrefetcher(IpcpIConfig(page_policy="aware"))
+
+
+@register_frontend_prefetcher("ipcp_i_tlb_blind")
+def _ipcp_i_tlb_blind() -> Prefetcher:
+    """IPCP-I with the data-side spatial contract: never cross a page."""
+    return IpcpIPrefetcher(IpcpIConfig(page_policy="blind"),
+                           name="ipcp_i_tlb_blind")

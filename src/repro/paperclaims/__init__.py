@@ -5,7 +5,7 @@ claims.Claim` — ordering, band, ratio, monotonicity or exact-value
 predicates over values measured by :class:`~repro.paperclaims.cells.
 Cell` computations, which draw all simulations through the cached
 parallel runner.  ``repro paper`` evaluates the registry, regenerates
-EXPERIMENTS.md and BENCH_9.json, and ``--check`` exits nonzero on any
+EXPERIMENTS.md and BENCH_10.json, and ``--check`` exits nonzero on any
 claim flip or doc drift; ``--mutate`` proves the harness catches a
 seeded one-line core regression.
 """

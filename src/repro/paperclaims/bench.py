@@ -1,4 +1,4 @@
-"""BENCH_9.json: telemetry from one full claim run.
+"""BENCH_10.json: telemetry from one full claim run.
 
 The driver compares BENCH files across PRs, so the schema is additive
 and the numbers are machine-local measurements, not asserted values:
@@ -15,12 +15,12 @@ import json
 from repro.paperclaims.cells import EngineReport
 
 SCHEMA = "repro-bench/v1"
-PR = 9
+PR = 10
 
 
 def bench_payload(report: EngineReport,
                   wall_seconds: float) -> dict:
-    """The BENCH_9.json contents for one full claim run."""
+    """The BENCH_10.json contents for one full claim run."""
     sections = {
         section: {"holds": good, "flipped": bad}
         for section, (good, bad) in report.by_section().items()

@@ -707,6 +707,55 @@ def _cell_throughput(ctx: CellContext) -> dict[str, float]:
     }
 
 
+#: Frontend (instruction-side) suite scale and configurations.  The
+#: frontend engine is scalar and in-process (no batched kernel yet), so
+#: the cell computes directly rather than through the shared backend.
+FRONTEND_SCALE = 0.5
+FRONTEND_CONFIGS = ["next_line_i", "mana_lite", "ipcp_i",
+                    "ipcp_i_tlb_blind"]
+
+
+def _cell_frontend(ctx: CellContext) -> dict[str, float]:
+    from repro.frontend import make_frontend_prefetcher, simulate_frontend
+    from repro.stats.metrics import geometric_mean
+    from repro.workloads import frontend_suite
+
+    values: dict[str, float] = {}
+    speedups: dict[str, list[float]] = {c: [] for c in FRONTEND_CONFIGS}
+    walks: dict[str, list[float]] = {"ipcp_i": [], "ipcp_i_tlb_blind": []}
+    mpkis: list[float] = []
+    coverages: list[float] = []
+    for trace in frontend_suite(scale=FRONTEND_SCALE):
+        baseline = simulate_frontend(trace)
+        values[f"fe.mpki.{trace.name}"] = baseline.l1i_mpki
+        mpkis.append(baseline.l1i_mpki)
+        for config in FRONTEND_CONFIGS:
+            result = simulate_frontend(
+                trace, make_frontend_prefetcher(config))
+            speedup = result.speedup_over(baseline)
+            values[f"fe.speedup.{trace.name}.{config}"] = speedup
+            speedups[config].append(speedup)
+            if config == "ipcp_i":
+                coverages.append(result.coverage_over(baseline))
+            if config in walks:
+                # Demand walks are the ones on the fetch critical
+                # path; the aware policy trades them for speculative
+                # prefetch-triggered walks (tracked separately).
+                walks[config].append(result.walks_pki)
+                if config == "ipcp_i":
+                    values.setdefault("fe.pfwalks.ipcp_i", 0.0)
+                    values["fe.pfwalks.ipcp_i"] += (
+                        result.prefetch_walks * 250.0
+                        / result.instructions)
+    for config, points in speedups.items():
+        values[f"fe.geo.{config}"] = geometric_mean(points)
+    values["fe.mpki.geo"] = geometric_mean(mpkis)
+    values["fe.cov.ipcp_i"] = sum(coverages) / len(coverages)
+    for config, points in walks.items():
+        values[f"fe.walks.{config}"] = sum(points) / len(points)
+    return values
+
+
 CELLS = [
     Cell("table1", "IPCP storage bookkeeping", _cell_table1),
     Cell("table2", "Table II system parameters", _cell_table2),
@@ -747,6 +796,7 @@ CELLS = [
     Cell("abl_mixdist", "heterogeneous-mix distribution", _cell_abl_mixdist),
     Cell("mix_suite", "MPKI-graded mix1-mix7 suite", _cell_mix_suite),
     Cell("throughput", "simulator throughput", _cell_throughput),
+    Cell("frontend", "instruction-prefetching suite", _cell_frontend),
 ]
 
 
@@ -1391,6 +1441,74 @@ CLAIMS = [
             Band("mix.nws.mix7.ipcp", lo=0.9, hi=1.1),
             Ordering(("mix.nws.mix7.ipcp", "mix.nws.mix7.mlop")),
             Ordering(("mix.nws.mix7.ipcp", "mix.nws.mix7.bingo")),
+        ),
+    ),
+    Claim(
+        id="fe-frontend-bound-suite", section="frontend",
+        title="Frontend suite: instruction-miss-bound by construction",
+        paper="beyond the paper: the four fetch-directed traces "
+              "(microservice call chains, page-aligned RPC fan-out, "
+              "bytecode dispatch, cold start) stay frontend-bound — "
+              "baseline L1-I MPKI in the double digits, the regime "
+              "MANA targets",
+        bench="tests/test_frontend.py",
+        cells=("frontend",),
+        predicates=(
+            Band("fe.mpki.geo", lo=15.0, hi=60.0),
+            Band("fe.mpki.microservice_like", lo=8.0),
+            Band("fe.mpki.fanout_rpc_like", lo=30.0),
+            Band("fe.mpki.coldstart_like", lo=15.0),
+        ),
+    ),
+    Claim(
+        id="fe-ipcp-i-leader", section="frontend",
+        title="IPCP-I: the bouquet wins on the instruction stream",
+        paper="beyond the paper: retargeting the IP-classifier bouquet "
+              "at fetch blocks (GS-I/CS-I/CPLX-I/NL-I) beats both "
+              "next-line and bounded record-and-replay on geomean "
+              "fetch speedup, with majority miss coverage",
+        bench="tests/test_frontend.py",
+        cells=("frontend",),
+        predicates=(
+            Leader("fe.geo.ipcp_i",
+                   ("fe.geo.next_line_i", "fe.geo.mana_lite"),
+                   margin=0.02),
+            Band("fe.geo.ipcp_i", lo=1.30, hi=1.70),
+            DeltaBand("fe.geo.ipcp_i", "fe.geo.next_line_i", lo=0.05),
+            Band("fe.cov.ipcp_i", lo=0.50),
+        ),
+    ),
+    Claim(
+        id="fe-tlb-ablation", section="frontend",
+        title="ITLB policy: aware beats blind",
+        paper="beyond the paper: letting IPCP-I cross pages (with "
+              "prefetch-triggered ITLB fills) beats the page-contained "
+              "blind variant on every trace, and moves translation "
+              "work off the demand path — blind demand-walks more",
+        bench="tests/test_frontend.py",
+        cells=("frontend",),
+        predicates=(
+            DeltaBand("fe.geo.ipcp_i", "fe.geo.ipcp_i_tlb_blind",
+                      lo=0.005),
+            Ordering(("fe.walks.ipcp_i_tlb_blind", "fe.walks.ipcp_i")),
+            Ordering(("fe.speedup.coldstart_like.ipcp_i",
+                      "fe.speedup.coldstart_like.ipcp_i_tlb_blind")),
+        ),
+    ),
+    Claim(
+        id="fe-mana-replay-gap", section="frontend",
+        title="MANA-lite: replay helps only where paths repeat",
+        paper="beyond the paper: bounded record-and-replay recovers "
+              "part of the repeating-dispatch traces but cannot touch "
+              "cold code — its geomean stays close to 1.0 while the "
+              "bouquet streams ahead",
+        bench="tests/test_frontend.py",
+        cells=("frontend",),
+        predicates=(
+            Band("fe.geo.mana_lite", lo=1.00, hi=1.20),
+            Ordering(("fe.geo.ipcp_i", "fe.geo.mana_lite")),
+            Band("fe.speedup.interpreter_like.mana_lite", lo=1.05),
+            Band("fe.speedup.coldstart_like.mana_lite", hi=1.10),
         ),
     ),
 ]

@@ -84,7 +84,7 @@ _REPRODUCING = """\
 ```bash
 repro paper --check            # evaluate every claim; nonzero on any flip
 repro paper --check --jobs 4   # same, fanned out over 4 workers
-repro paper --write            # regenerate this file + BENCH_9.json
+repro paper --write            # regenerate this file + BENCH_10.json
 repro paper --list             # claim ids for --only
 repro paper --only fig8-multilevel fig7-l1-comparison
 pytest benchmarks/ --benchmark-only   # human-readable reports in benchmarks/out/
@@ -408,7 +408,7 @@ def _m_abl_mixdist(v):
 def _m_throughput(v):
     return ("machine-dependent — order-of-magnitude floors plus "
             "batched-vs-scalar ratio gates; live numbers land in "
-            "`BENCH_9.json`")
+            "`BENCH_10.json`")
 
 
 def _m_mix_mpki(v):
@@ -435,6 +435,39 @@ def _m_mix_ordering(v):
             f"{_f3(v['mix.nws.mix7.ipcp'])} (mix7); on mix7 MLOP "
             f"{_f3(v['mix.nws.mix7.mlop'])}, Bingo "
             f"{_f3(v['mix.nws.mix7.bingo'])}")
+
+
+def _m_fe_suite(v):
+    return (f"baseline L1-I MPKI: microservice "
+            f"{_f2(v['fe.mpki.microservice_like'])}, fan-out RPC "
+            f"{_f2(v['fe.mpki.fanout_rpc_like'])}, interpreter "
+            f"{_f2(v['fe.mpki.interpreter_like'])}, cold-start "
+            f"{_f2(v['fe.mpki.coldstart_like'])} "
+            f"(geomean {_f2(v['fe.mpki.geo'])})")
+
+
+def _m_fe_leader(v):
+    chain = _chain(v, {"IPCP-I": "fe.geo.ipcp_i",
+                       "next-line-I": "fe.geo.next_line_i",
+                       "MANA-lite": "fe.geo.mana_lite"})
+    return (f"{chain} geomean fetch speedup; IPCP-I covers "
+            f"{_pct(v['fe.cov.ipcp_i'])} of baseline L1-I misses")
+
+
+def _m_fe_tlb(v):
+    return (f"aware {_f3(v['fe.geo.ipcp_i'])} vs blind "
+            f"{_f3(v['fe.geo.ipcp_i_tlb_blind'])}; demand walks/ki "
+            f"{_f2(v['fe.walks.ipcp_i'])} (aware) vs "
+            f"{_f2(v['fe.walks.ipcp_i_tlb_blind'])} (blind), aware "
+            f"paying {_f2(v['fe.pfwalks.ipcp_i'])} speculative walks/ki")
+
+
+def _m_fe_mana(v):
+    return (f"MANA-lite geomean {_f3(v['fe.geo.mana_lite'])}: "
+            f"interpreter {_f3(v['fe.speedup.interpreter_like.mana_lite'])} "
+            f"(paths repeat) but cold-start "
+            f"{_f3(v['fe.speedup.coldstart_like.mana_lite'])} vs IPCP-I "
+            f"{_f3(v['fe.speedup.coldstart_like.ipcp_i'])} there")
 
 
 MEASURED = {
@@ -479,6 +512,10 @@ MEASURED = {
     "mix-mpki-gradient": _m_mix_mpki,
     "mix-weighted-speedup": _m_mix_ws,
     "mix-gradient-ordering": _m_mix_ordering,
+    "fe-frontend-bound-suite": _m_fe_suite,
+    "fe-ipcp-i-leader": _m_fe_leader,
+    "fe-tlb-ablation": _m_fe_tlb,
+    "fe-mana-replay-gap": _m_fe_mana,
 }
 
 _SECTION_HEADINGS = {
@@ -487,6 +524,7 @@ _SECTION_HEADINGS = {
     "sensitivity": "## Sensitivity studies (Section VI-C)",
     "ablations": "## Ablations & extensions (beyond the paper's figures)",
     "mixes": "## Graded multicore mixes (beyond the paper's figures)",
+    "frontend": "## Instruction prefetching (beyond the paper's figures)",
 }
 
 

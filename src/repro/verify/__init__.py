@@ -12,7 +12,14 @@ of future refactors and performance work:
 * :mod:`repro.verify.invariants` — a wrapper asserting runtime
   invariants (page containment, RR capacity, metadata width, Table I
   storage budgets, throttle ranges) on every prefetch any
-  :class:`~repro.prefetchers.base.Prefetcher` issues.
+  :class:`~repro.prefetchers.base.Prefetcher` issues; the frontend
+  registry gets its own sweep with ITLB capacity audits
+  (:func:`~repro.verify.invariants.run_frontend_invariant_sweep`).
+* :mod:`repro.verify.frontend_oracle` — the instruction-side twin of
+  the oracles: a naive IPCP-I model
+  (:class:`~repro.verify.frontend_oracle.OracleIpcpI`) stepped in
+  lockstep with :class:`repro.frontend.ipcp_i.IpcpIPrefetcher` in
+  ``tests/test_frontend.py``.
 * :mod:`repro.verify.golden` — a golden-stats regression harness that
   snapshots key metrics for every registered prefetcher over a fixed
   workload grid into a committed JSON baseline and fails on drift.
@@ -37,10 +44,13 @@ from repro.verify.golden import (
     load_baseline,
     save_baseline,
 )
+from repro.verify.frontend_oracle import OracleIpcpI
 from repro.verify.invariants import (
     InvariantError,
     InvariantChecker,
     InvariantViolation,
+    check_frontend_invariants,
+    run_frontend_invariant_sweep,
 )
 from repro.verify.lockstep import Divergence, LockstepDiffer, LockstepReport
 from repro.verify.oracles import OracleDecision, OracleIpcpL1
@@ -56,11 +66,14 @@ __all__ = [
     "LockstepDiffer",
     "LockstepReport",
     "OracleDecision",
+    "OracleIpcpI",
     "OracleIpcpL1",
+    "check_frontend_invariants",
     "collect_golden_stats",
     "compare_to_baseline",
     "golden_prefetchers",
     "load_baseline",
     "run_cross_engine",
+    "run_frontend_invariant_sweep",
     "save_baseline",
 ]

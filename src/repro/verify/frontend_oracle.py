@@ -1,0 +1,179 @@
+"""Naive executable oracle of the IPCP-I instruction-stream bouquet.
+
+The same discipline as :mod:`repro.verify.oracles`, applied to
+:class:`repro.frontend.ipcp_i.IpcpIPrefetcher`: an independent,
+deliberately slow re-implementation of the IPCP-I rules — plain dicts,
+no shared code with :mod:`repro.frontend` beyond the
+:class:`~repro.frontend.ipcp_i.IpcpIConfig` parameters — stepped in
+lockstep with the production prefetcher and diffed per fetch-block
+transition (``tests/test_frontend.py``).  A future fused/batched
+frontend kernel must keep matching this model.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ipcp_i import IpcpIConfig
+from repro.verify.oracles import OracleRrFilter, OracleThrottle
+
+BLOCKS_PER_REGION = 32
+BLOCKS_PER_PAGE = 64
+SIG_MASK = 0x7F
+SIG_SHIFT = 2
+SIG_DELTA_MASK = 0x3F
+CONF_MAX = 3
+CONF_THRESHOLD = 2
+LOW_WATERMARK = 0.40
+
+FE_GS, FE_CS, FE_CPLX, FE_NL = 1, 2, 3, 4
+PRIORITY = (FE_GS, FE_CS, FE_CPLX, FE_NL)
+
+
+class OracleIpcpI:
+    """Lockstep model of one IPCP-I instance.
+
+    :meth:`step` consumes one fetch-block transition and returns the
+    ordered ``(block, pf_class)`` request tuple the IPCP-I rules
+    produce; :meth:`on_prefetch_fill`/:meth:`on_prefetch_hit` mirror
+    the accuracy feedback so the throttle state tracks the production
+    prefetcher's exactly.
+    """
+
+    def __init__(self, config: IpcpIConfig | None = None) -> None:
+        self.config = config or IpcpIConfig()
+        cfg = self.config
+        self.rr = OracleRrFilter(cfg.rr_entries, cfg.rr_tag_bits)
+        self.block_table: dict[int, list[int]] = {}  # index -> [tag, d, conf]
+        self.cspt: dict[int, list[int]] = {}  # signature -> [delta, conf]
+        self.signature = 0
+        self.regions: dict[int, dict] = {}  # region -> {touched, trained}
+        self.last_block: int | None = None
+        self.throttles = {
+            FE_GS: OracleThrottle(cfg.gs_degree),
+            FE_CS: OracleThrottle(cfg.cs_degree),
+            FE_CPLX: OracleThrottle(cfg.cplx_degree),
+            FE_NL: OracleThrottle(cfg.nl_degree),
+        }
+
+    def _slot(self, block: int) -> tuple[int, int]:
+        """Direct-mapped (index, tag) pair for the block table."""
+        cfg = self.config
+        index = block % cfg.bt_entries
+        tag = (block // cfg.bt_entries) % (1 << cfg.bt_tag_bits)
+        return index, tag
+
+    def _train(self, prev_block: int, block: int) -> None:
+        """Train CS-I and CPLX-I with the observed block transition."""
+        delta = block - prev_block
+        index, tag = self._slot(prev_block)
+        entry = self.block_table.get(index)
+        if entry is None or entry[0] != tag:
+            if entry is None or entry[2] == 0:
+                self.block_table[index] = [tag, delta, 1]
+            else:
+                entry[2] -= 1
+        elif entry[1] == delta:
+            entry[2] = min(CONF_MAX, entry[2] + 1)
+        else:
+            entry[2] -= 1
+            if entry[2] <= 0:
+                entry[1] = delta
+                entry[2] = 1
+        sig_entry = self.cspt.get(self.signature)
+        if sig_entry is None:
+            self.cspt[self.signature] = [delta, 1]
+        elif sig_entry[0] == delta:
+            sig_entry[1] = min(CONF_MAX, sig_entry[1] + 1)
+        else:
+            sig_entry[1] -= 1
+            if sig_entry[1] <= 0:
+                sig_entry[0] = delta
+                sig_entry[1] = 1
+        self.signature = ((self.signature << SIG_SHIFT)
+                          ^ (delta & SIG_DELTA_MASK)) & SIG_MASK
+
+    def _train_region(self, block: int) -> None:
+        """Track region density for GS-I (LRU over rst_entries regions)."""
+        region = block // BLOCKS_PER_REGION
+        offset = block % BLOCKS_PER_REGION
+        entry = self.regions.pop(region, None)
+        if entry is None:
+            if len(self.regions) >= self.config.rst_entries:
+                del self.regions[next(iter(self.regions))]
+            self.regions[region] = {"touched": {offset}, "trained": False}
+            return
+        entry["touched"].add(offset)
+        if len(entry["touched"]) >= self.config.region_train_threshold:
+            entry["trained"] = True
+        self.regions[region] = entry
+
+    def _candidates(self, block: int, mpki: float) -> dict[int, list[int]]:
+        """Per-class target blocks, before page policy and RR filtering."""
+        out: dict[int, list[int]] = {c: [] for c in PRIORITY}
+        region = self.regions.get(block // BLOCKS_PER_REGION)
+        if region is not None and region["trained"]:
+            degree = self.throttles[FE_GS].degree
+            out[FE_GS] = [block + k for k in range(1, degree + 1)]
+        current = block
+        for _ in range(self.throttles[FE_CS].degree):
+            index, tag = self._slot(current)
+            entry = self.block_table.get(index)
+            if (entry is None or entry[0] != tag
+                    or entry[2] < CONF_THRESHOLD or entry[1] == 0):
+                break
+            current += entry[1]
+            out[FE_CS].append(current)
+        sig = self.signature
+        target = block
+        for _ in range(self.throttles[FE_CPLX].degree):
+            entry = self.cspt.get(sig)
+            if entry is None or entry[1] < CONF_THRESHOLD or entry[0] == 0:
+                break
+            target += entry[0]
+            out[FE_CPLX].append(target)
+            sig = ((sig << SIG_SHIFT) ^ (entry[0] & SIG_DELTA_MASK)) & SIG_MASK
+        if mpki < self.config.nl_mpki_gate:
+            degree = self.throttles[FE_NL].degree
+            out[FE_NL] = [block + k for k in range(1, degree + 1)]
+        return out
+
+    def step(self, ip: int, mpki: float = 0.0) -> tuple[tuple[int, int], ...]:
+        """One fetch-block transition; returns ordered (block, class) pairs."""
+        block = ip >> 6
+        self.rr.remember(block)
+        if self.last_block is not None and block != self.last_block:
+            self._train(self.last_block, block)
+        self._train_region(block)
+        self.last_block = block
+
+        candidates = self._candidates(block, mpki)
+        page = block // BLOCKS_PER_PAGE
+        blind = self.config.page_policy == "blind"
+        requests: list[tuple[int, int]] = []
+        claimed = False
+        for pf_class in PRIORITY:
+            targets = candidates[pf_class]
+            if not targets or claimed:
+                continue
+            for target in targets:
+                if target < 0:
+                    continue
+                if blind and target // BLOCKS_PER_PAGE != page:
+                    continue
+                if self.rr.should_drop(target):
+                    continue
+                requests.append((target, pf_class))
+            if not self.throttles[pf_class].accuracy < LOW_WATERMARK:
+                claimed = True
+        return tuple(requests)
+
+    def on_prefetch_fill(self, pf_class: int) -> None:
+        """Mirror of the production fill feedback (closes epochs)."""
+        throttle = self.throttles.get(pf_class)
+        if throttle is not None:
+            throttle.on_fill()
+
+    def on_prefetch_hit(self, pf_class: int) -> None:
+        """Mirror of the production demand-hit feedback."""
+        throttle = self.throttles.get(pf_class)
+        if throttle is not None:
+            throttle.on_hit()

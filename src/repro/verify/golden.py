@@ -109,6 +109,7 @@ def save_baseline(document: dict, path: str) -> None:
 
 
 def load_baseline(path: str) -> dict:
+    """Load a golden-stats baseline document, failing with a hint."""
     try:
         with open(path) as fh:
             document = json.load(fh)
@@ -138,6 +139,7 @@ class Drift:
     relative: float
 
     def describe(self) -> str:
+        """Render the drifted metric as one human-readable line."""
         if self.baseline is None:
             return f"{self.cell}: {self.metric} missing from baseline"
         if self.current is None:

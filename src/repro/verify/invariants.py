@@ -20,6 +20,13 @@
 The wrapper is a drop-in :class:`Prefetcher`: it can sit inside a full
 simulation (every fill/hit callback is forwarded) or be driven directly
 over a trace with :func:`check_invariants`.
+
+The frontend (instruction-side) configurations get the same treatment
+via :func:`check_frontend_invariants` /
+:func:`run_frontend_invariant_sweep`: the generic request audits plus
+IPCP-I structure bounds, the TLB-blind page-containment guarantee, and
+an ITLB capacity audit (demand walks *and* prefetch fills must never
+push residency past the configured entry counts).
 """
 
 from __future__ import annotations
@@ -60,6 +67,7 @@ class InvariantViolation:
     addr: int = 0
 
     def describe(self) -> str:
+        """Render the violation as one human-readable line."""
         return (
             f"[{self.invariant}] access #{self.access_index} "
             f"ip={self.ip:#x} addr={self.addr:#x}: {self.detail}"
@@ -88,9 +96,11 @@ class InvariantChecker(Prefetcher):
 
     @property
     def ok(self) -> bool:
+        """True while no invariant has been violated."""
         return not self.violations
 
     def by_invariant(self) -> dict[str, int]:
+        """Violation counts keyed by invariant name."""
         counts: dict[str, int] = {}
         for violation in self.violations:
             counts[violation.invariant] = counts.get(violation.invariant, 0) + 1
@@ -101,6 +111,7 @@ class InvariantChecker(Prefetcher):
     # ---------------------------------------------------------------- #
 
     def on_access(self, ctx: AccessContext):
+        """Delegate to ``inner`` and audit the requests it returns."""
         index = self.accesses
         self.accesses += 1
         try:
@@ -116,15 +127,19 @@ class InvariantChecker(Prefetcher):
         return requests
 
     def on_fill(self, addr, was_prefetch, metadata, evicted_addr) -> None:
+        """Forward the fill event to ``inner`` unchanged."""
         self.inner.on_fill(addr, was_prefetch, metadata, evicted_addr)
 
     def on_prefetch_fill(self, addr: int, pf_class: int) -> None:
+        """Forward the prefetch-fill event to ``inner`` unchanged."""
         self.inner.on_prefetch_fill(addr, pf_class)
 
     def on_prefetch_hit(self, addr: int, pf_class: int) -> None:
+        """Forward the prefetch-hit event to ``inner`` unchanged."""
         self.inner.on_prefetch_hit(addr, pf_class)
 
     def summary(self):
+        """Return ``inner``'s summary — the wrap adds no counters."""
         return self.inner.summary()
 
     # ---------------------------------------------------------------- #
@@ -290,9 +305,11 @@ class InvariantReport:
 
     @property
     def ok(self) -> bool:
+        """True when the run recorded zero violations."""
         return not self.violations
 
     def describe(self) -> str:
+        """One-line verdict, plus the first ten violations if any."""
         status = "OK" if self.ok else "VIOLATIONS"
         head = (
             f"{self.prefetcher_name} on {self.trace_name}: {status} — "
@@ -380,4 +397,180 @@ def run_invariant_sweep(
                 )
                 report.prefetcher_name = f"{name}@{level}"
                 reports.append(report)
+    return reports
+
+
+# ------------------------------------------------------------------ #
+# Frontend (instruction-side) invariants
+# ------------------------------------------------------------------ #
+
+# Frontend configurations that legitimately cross 4 KB pages: the
+# TLB-aware IPCP-I (the engine charges an ITLB prefetch fill for it)
+# and MANA-lite, whose recorded fetch paths span call chains.  The
+# blind IPCP-I variant and next-line-I must stay page-contained —
+# that containment IS the invariant under test.
+FRONTEND_CROSS_PAGE_PREFETCHERS = frozenset({"ipcp_i", "mana_lite"})
+
+
+def _audit_frontend_structures(checker: InvariantChecker, itlb,
+                               ctx: AccessContext) -> None:
+    """Per-transition structure audits for frontend prefetchers."""
+    from repro.frontend.ipcp_i import CONF_MAX, IpcpIPrefetcher
+
+    index = checker.accesses - 1
+    params = itlb.params
+    dtlb_resident, stlb_resident = itlb.resident()
+    if dtlb_resident > params.dtlb_entries:
+        checker._flag(
+            "itlb_capacity",
+            f"ITLB holds {dtlb_resident} > {params.dtlb_entries}",
+            index, ctx,
+        )
+    if stlb_resident > params.stlb_entries:
+        checker._flag(
+            "stlb_capacity",
+            f"STLB holds {stlb_resident} > {params.stlb_entries}",
+            index, ctx,
+        )
+    inner = checker.inner
+    if not isinstance(inner, IpcpIPrefetcher):
+        return
+    cfg = inner.config
+    if len(inner.rr_filter) > cfg.rr_entries:
+        checker._flag(
+            "rr_capacity",
+            f"RR filter holds {len(inner.rr_filter)} > {cfg.rr_entries}",
+            index, ctx,
+        )
+    if len(inner._rst) > cfg.rst_entries:
+        checker._flag(
+            "rst_capacity",
+            f"RST holds {len(inner._rst)} > {cfg.rst_entries}",
+            index, ctx,
+        )
+    # BT entries are [tag, delta, conf]; CSPT entries are [delta, conf].
+    for table, slot, invariant in ((inner._bt, 2, "bt_confidence"),
+                                   (inner._cspt, 1, "cspt_confidence")):
+        for entry in table:
+            if entry is not None and not 0 <= entry[slot] <= CONF_MAX:
+                checker._flag(
+                    invariant,
+                    f"confidence {entry[slot]} outside [0, {CONF_MAX}]",
+                    index, ctx,
+                )
+                break
+    for pf_class, throttle in inner.throttles.items():
+        if not 0.0 <= throttle.accuracy <= 1.0:
+            checker._flag(
+                "epoch_accuracy",
+                f"class {pf_class} accuracy {throttle.accuracy} "
+                "outside [0, 1]",
+                index, ctx,
+            )
+        if not 1 <= throttle.degree <= throttle.default_degree:
+            checker._flag(
+                "throttle_degree",
+                f"class {pf_class} degree {throttle.degree} outside "
+                f"[1, {throttle.default_degree}]",
+                index, ctx,
+            )
+
+
+def check_frontend_invariants(
+    prefetcher: Prefetcher,
+    trace: Trace,
+    allow_cross_page: bool = False,
+) -> InvariantReport:
+    """Drive a frontend prefetcher over ``trace``'s instruction stream.
+
+    Every record contributes its ``ip``; the prefetcher sees one access
+    per fetch-block transition (the frontend engine's access model) with
+    a running miss-rate proxy in ``ctx.mpki``.  Fill/hit feedback is
+    synthesised the same way :func:`check_invariants` does it, and an
+    :class:`~repro.frontend.model.Itlb` is fed both the demand page
+    stream and the cross-page prefetch fills so its capacity invariants
+    are exercised under prefetch pressure, not just demand walks.
+    """
+    from repro.frontend.model import Itlb
+
+    checker = InvariantChecker(
+        prefetcher, allow_cross_page=allow_cross_page, strict=False
+    )
+    itlb = Itlb()
+    outstanding: dict[int, int] = {}
+    last_block: int | None = None
+    cycle = 0
+    misses = 0
+    instructions = 0
+    for _, ip, _, _ in trace:
+        instructions += 1
+        block = ip >> 6
+        if block == last_block:
+            continue
+        last_block = block
+        cycle += 1
+        page = block // LINES_PER_PAGE
+        itlb.access(page)
+        pf_class = outstanding.pop(block, None)
+        covered = pf_class is not None
+        if covered:
+            checker.on_prefetch_hit(block << 6, pf_class)
+        else:
+            misses += 1
+        ctx = AccessContext(
+            ip=ip,
+            addr=ip,
+            cache_hit=covered,
+            kind=AccessType.LOAD,
+            cycle=cycle,
+            mpki=misses * 1000.0 / instructions,
+        )
+        requests = checker.on_access(ctx)
+        for request in requests:
+            target = request.addr >> 6
+            outstanding[target] = request.pf_class
+            target_page = target // LINES_PER_PAGE
+            if target_page != page:
+                itlb.prefetch_fill(target_page)
+            checker.on_prefetch_fill(request.addr, request.pf_class)
+        _audit_frontend_structures(checker, itlb, ctx)
+    return InvariantReport(
+        prefetcher_name=prefetcher.name,
+        trace_name=trace.name,
+        accesses=checker.accesses,
+        requests=checker.requests,
+        violations=checker.violations,
+    )
+
+
+def run_frontend_invariant_sweep(
+    traces: list[Trace],
+    prefetcher_names: list[str] | None = None,
+) -> list[InvariantReport]:
+    """Audit every registered frontend configuration over every trace.
+
+    The frontend registry is separate from the data-side one
+    (:mod:`repro.frontend.registry`), so this sweep is the frontend
+    twin of :func:`run_invariant_sweep`; reports are named
+    ``<config>@l1i``.
+    """
+    from repro.frontend import (
+        available_frontend_prefetchers,
+        make_frontend_prefetcher,
+    )
+
+    if prefetcher_names is None:
+        prefetcher_names = available_frontend_prefetchers()
+    reports: list[InvariantReport] = []
+    for name in prefetcher_names:
+        allow = name in FRONTEND_CROSS_PAGE_PREFETCHERS
+        for trace in traces:
+            prefetcher = make_frontend_prefetcher(name)
+            if prefetcher is None:
+                continue
+            report = check_frontend_invariants(
+                prefetcher, trace, allow_cross_page=allow
+            )
+            report.prefetcher_name = f"{name}@l1i"
+            reports.append(report)
     return reports

@@ -9,6 +9,11 @@ run.  See DESIGN.md §3 for the substitution rationale.
 """
 
 from repro.workloads.cloudsuite import cloudsuite_suite
+from repro.workloads.frontend import (
+    FRONTEND_BENCHMARKS,
+    frontend_suite,
+    frontend_trace,
+)
 from repro.workloads.gap import GAP_BENCHMARKS, gap_trace
 from repro.workloads.mixes import (
     GRADED_MIXES,
@@ -37,12 +42,15 @@ from repro.workloads.spec import (
 )
 
 __all__ = [
+    "FRONTEND_BENCHMARKS",
     "GAP_BENCHMARKS",
     "GRADED_MIXES",
     "SPEC_BENCHMARKS",
     "STREAM_BENCHMARKS",
     "WorkloadBuilder",
     "cloudsuite_suite",
+    "frontend_suite",
+    "frontend_trace",
     "complex_stride_pattern",
     "compute_dense_trace",
     "dense_region_burst",

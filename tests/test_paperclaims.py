@@ -311,7 +311,7 @@ def test_bench_payload_schema():
     report = _fake_report(ok=False)
     payload = bench_payload(report, wall_seconds=12.345)
     assert payload["schema"] == "repro-bench/v1"
-    assert payload["pr"] == 9
+    assert payload["pr"] == 10
     assert payload["claims"]["total"] == 2
     assert payload["claims"]["holds"] == 1
     assert payload["claims"]["flipped"] == 1
